@@ -1,0 +1,225 @@
+package taskprune
+
+// Benchmark harness: one bench per evaluation figure of the paper plus the
+// DESIGN.md ablations. Each bench iteration regenerates the figure's full
+// sweep at a reduced trial count (benchmarks measure harness cost and smoke
+// the pipelines; EXPERIMENTS.md records the paper-scale numbers produced by
+// cmd/hcsim). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches report robustness means through b.ReportMetric so
+// a bench run doubles as a quick shape check.
+
+import (
+	"testing"
+
+	"taskprune/internal/experiments"
+)
+
+// benchOptions keeps a single bench iteration around a second or two on one
+// core: 2 trials, 300 tasks per trial.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Trials = 2
+	o.Tasks = 300
+	return o
+}
+
+func reportFigure(b *testing.B, fig *Figure) {
+	b.Helper()
+	for _, p := range fig.Points {
+		b.ReportMetric(p.Robustness.Mean, p.Series+"@"+p.Label+"_rob%")
+	}
+}
+
+// BenchmarkFig4Lambda regenerates Figure 4 (oversubscription EWMA weight λ
+// sweep, single threshold vs Schmitt trigger).
+func BenchmarkFig4Lambda(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			_ = fig
+		}
+	}
+}
+
+// BenchmarkFig5Thresholds regenerates Figure 5 (deferring threshold sweep
+// per dropping threshold).
+func BenchmarkFig5Thresholds(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Fairness regenerates Figure 6 (fairness factor sweep).
+func BenchmarkFig6Fairness(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Robustness regenerates Figure 7 (all six heuristics at 19k
+// and 34k) and reports the robustness means it observed.
+func BenchmarkFig7Robustness(b *testing.B) {
+	o := benchOptions()
+	var last *Figure
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	reportFigure(b, last)
+}
+
+// BenchmarkFig8Cost regenerates Figure 8 (cost per robustness point).
+func BenchmarkFig8Cost(b *testing.B) {
+	o := benchOptions()
+	var last *Figure
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(p.CostPerPct.Mean, p.Series+"@"+p.Label+"_$/pct")
+	}
+}
+
+// BenchmarkFig9Video regenerates Figure 9 (video transcoding, PAMF vs MM).
+func BenchmarkFig9Video(b *testing.B) {
+	o := benchOptions()
+	var last *Figure
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	reportFigure(b, last)
+}
+
+// BenchmarkAblationCompaction measures the PMF-compaction design choice.
+func BenchmarkAblationCompaction(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCompaction(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEq7 measures the per-task threshold adjustment ablation.
+func BenchmarkAblationEq7(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEq7(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationScenario measures scenario B vs C dropping semantics.
+func BenchmarkAblationScenario(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationScenario(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleTrialPAM measures the cost of one full 800-task PAM trial
+// at the 34k level — the unit of work every figure multiplies.
+func BenchmarkSingleTrialPAM(b *testing.B) {
+	matrix := SPECPET()
+	cfg := MustConfigFor("PAM", matrix)
+	for i := 0; i < b.N; i++ {
+		tasks := MustGenerateWorkload(WorkloadConfig{
+			NumTasks: 800, Rate: RateForLevel(Level34k), VarFrac: 0.10, Beta: 2.0,
+		}, matrix, NewRNG(int64(i)))
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleTrialMM is the baseline counterpart of
+// BenchmarkSingleTrialPAM (scalar heuristics skip all convolution work).
+func BenchmarkSingleTrialMM(b *testing.B) {
+	matrix := SPECPET()
+	cfg := MustConfigFor("MM", matrix)
+	for i := 0; i < b.N; i++ {
+		tasks := MustGenerateWorkload(WorkloadConfig{
+			NumTasks: 800, Rate: RateForLevel(Level34k), VarFrac: 0.10, Beta: 2.0,
+		}, matrix, NewRNG(int64(i)))
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMOCThreshold measures the MOC culling-threshold sweep.
+func BenchmarkAblationMOCThreshold(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMOCThreshold(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionPreemption measures the preemption future-work
+// extension (PAM vs PAM+preempt).
+func BenchmarkExtensionPreemption(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionPreemption(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionApproximate measures the approximate-computing
+// future-work extension.
+func BenchmarkExtensionApproximate(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionApproximate(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPETDrift measures the PET-staleness sensitivity study.
+func BenchmarkAblationPETDrift(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPETDrift(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

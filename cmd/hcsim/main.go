@@ -1,0 +1,187 @@
+// Command hcsim regenerates the paper's evaluation figures (and the
+// repository's ablation studies) from the command line.
+//
+// Usage:
+//
+//	hcsim -exp fig7                 # regenerate Figure 7 at paper scale
+//	hcsim -exp all -trials 10       # every figure, 10 trials per point
+//	hcsim -exp single -heuristic PAM -level 34000
+//	hcsim -exp fig5 -csv fig5.csv   # also export CSV
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 abl-compact abl-eq7
+// abl-scenario abl-arrival abl-moc abl-drift ext-preempt ext-approx single
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"taskprune/internal/experiments"
+	"taskprune/internal/report"
+	"taskprune/internal/simulator"
+	"taskprune/internal/stats"
+	"taskprune/internal/workload"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "fig7", "experiment to run (fig4..fig9, abl-compact, abl-eq7, abl-scenario, abl-arrival, single, all)")
+		trials    = flag.Int("trials", 30, "workload trials per configuration point")
+		tasks     = flag.Int("tasks", 800, "tasks per trial")
+		seed      = flag.Int64("seed", 1, "base seed (trial k uses seed+k)")
+		beta      = flag.Float64("beta", 2.0, "deadline slack coefficient β")
+		varFrac   = flag.Float64("arrival-var", 0.10, "arrival gamma variance as a fraction of the mean")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
+		plot      = flag.Bool("plot", false, "also render results as an ASCII bar chart")
+		heuristic = flag.String("heuristic", "PAM", "heuristic for -exp single")
+		level     = flag.Float64("level", workload.Level34k, "oversubscription level for -exp single")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Trials: *trials, Tasks: *tasks, Seed: *seed,
+		Workers: *workers, Beta: *beta, VarFrac: *varFrac,
+	}
+
+	if *exp == "single" {
+		if err := runSingle(opts, *heuristic, *level); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+			"abl-compact", "abl-eq7", "abl-scenario", "abl-arrival", "abl-moc", "abl-drift", "ext-preempt", "ext-approx"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		fig, err := runExperiment(name, opts)
+		if err != nil {
+			fatal(err)
+		}
+		tables := tablesFor(name, fig)
+		for _, tbl := range tables {
+			fmt.Println(tbl.String())
+		}
+		if *plot {
+			fmt.Println(fig.RobustnessChart().String())
+		}
+		fmt.Printf("(%s finished in %v, %d trials/point)\n\n", name, time.Since(start).Round(time.Millisecond), opts.Trials)
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, tables); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("CSV written to %s\n", *csvPath)
+		}
+	}
+}
+
+func runExperiment(name string, opts experiments.Options) (*experiments.Figure, error) {
+	switch name {
+	case "fig4":
+		return experiments.Fig4(opts)
+	case "fig5":
+		return experiments.Fig5(opts)
+	case "fig6":
+		return experiments.Fig6(opts)
+	case "fig7":
+		return experiments.Fig7(opts)
+	case "fig8":
+		return experiments.Fig8(opts)
+	case "fig9":
+		return experiments.Fig9(opts)
+	case "abl-compact":
+		return experiments.AblationCompaction(opts)
+	case "abl-eq7":
+		return experiments.AblationEq7(opts)
+	case "abl-scenario":
+		return experiments.AblationScenario(opts)
+	case "abl-arrival":
+		return experiments.AblationArrivalVariance(opts)
+	case "abl-moc":
+		return experiments.AblationMOCThreshold(opts)
+	case "ext-preempt":
+		return experiments.ExtensionPreemption(opts)
+	case "ext-approx":
+		return experiments.ExtensionApproximate(opts)
+	case "abl-drift":
+		return experiments.AblationPETDrift(opts)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func tablesFor(name string, fig *experiments.Figure) []*report.Table {
+	switch name {
+	case "fig6":
+		return []*report.Table{fig.FairnessTable()}
+	case "fig8":
+		return []*report.Table{fig.CostTable()}
+	case "ext-approx":
+		return []*report.Table{experiments.QualityTable(fig)}
+	default:
+		return []*report.Table{fig.RobustnessTable()}
+	}
+}
+
+// runSingle executes one trial of one heuristic and prints its statistics —
+// the quickest way to poke at the system.
+func runSingle(opts experiments.Options, name string, level float64) error {
+	matrix := experiments.SPECPET()
+	cfg, err := simulator.ConfigFor(name, matrix)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(opts.Seed)
+	tasksList, err := workload.Generate(workload.Config{
+		NumTasks: opts.Tasks,
+		Rate:     workload.RateForLevel(level),
+		VarFrac:  opts.VarFrac,
+		Beta:     opts.Beta,
+	}, matrix, rng)
+	if err != nil {
+		return err
+	}
+	sim, err := simulator.New(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	st, err := sim.Run(tasksList)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s @%s: robustness %.1f%% (completed %d / window %d; dropped %d, missed %d) in %v\n",
+		name, workload.LevelLabel(level), st.RobustnessPct, st.Completed, st.Window,
+		st.Dropped, st.Missed, time.Since(start).Round(time.Millisecond))
+	if sim.Pruner() != nil {
+		fmt.Printf("pruner: %d mapping events, %d pruner drops, %d evictions, final level %.2f\n",
+			sim.MappingEvents(), sim.DroppedByPruner(), sim.Evicted(), sim.Pruner().Level())
+	}
+	return nil
+}
+
+func writeCSV(path string, tables []*report.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, tbl := range tables {
+		if err := tbl.WriteCSV(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command petgen inspects and exports the PET matrices used by the
+// evaluation: the 12×8 SPEC-like main matrix and the 4×4 video-transcoding
+// matrix.
+//
+// Usage:
+//
+//	petgen                # summary of the SPEC-like PET
+//	petgen -video         # summary of the video PET
+//	petgen -entry 3,2     # full PMF of task type 3 on machine 2
+//	petgen -csv means.csv # export the mean matrix as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskprune/internal/experiments"
+	"taskprune/internal/pet"
+	"taskprune/internal/report"
+	"taskprune/internal/task"
+)
+
+func main() {
+	var (
+		video   = flag.Bool("video", false, "use the 4×4 video-transcoding PET")
+		entry   = flag.String("entry", "", "print the full PMF of one entry, as \"type,machine\"")
+		csvPath = flag.String("csv", "", "export the mean matrix as CSV")
+	)
+	flag.Parse()
+
+	matrix := experiments.SPECPET()
+	means := pet.SPECLikeMeans()
+	label := "SPEC-like (12 task types × 8 machines)"
+	if *video {
+		matrix = experiments.VideoPET()
+		means = pet.VideoMeans()
+		label = "video transcoding (4 task types × 4 EC2 VM types)"
+	}
+
+	if *entry != "" {
+		var ti, mi int
+		if _, err := fmt.Sscanf(*entry, "%d,%d", &ti, &mi); err != nil {
+			fatal(fmt.Errorf("bad -entry %q: %v", *entry, err))
+		}
+		if ti < 0 || ti >= matrix.NumTypes() || mi < 0 || mi >= matrix.NumMachines() {
+			fatal(fmt.Errorf("entry (%d,%d) out of range %dx%d", ti, mi, matrix.NumTypes(), matrix.NumMachines()))
+		}
+		e := matrix.Entry(task.Type(ti), mi)
+		fmt.Printf("PET(%d,%d): truth mean %.1f (gamma shape %.2f), profiled mean %.1f\n",
+			ti, mi, e.Mean, e.Shape, e.PMF.Mean())
+		fmt.Printf("impulses: %s\n", e.PMF)
+		return
+	}
+
+	fmt.Printf("PET matrix: %s\n\n", label)
+	headers := []string{"type \\ machine"}
+	for mi := 0; mi < matrix.NumMachines(); mi++ {
+		name := fmt.Sprintf("m%d", mi)
+		if *video {
+			name = pet.VideoMachineNames[mi]
+		}
+		headers = append(headers, name)
+	}
+	tbl := report.NewTable("mean execution times (ticks)", headers...)
+	for ti := 0; ti < matrix.NumTypes(); ti++ {
+		row := make([]any, 0, matrix.NumMachines()+1)
+		name := fmt.Sprintf("t%d", ti)
+		if *video {
+			name = pet.VideoTypeNames[ti]
+		}
+		row = append(row, name)
+		for mi := 0; mi < matrix.NumMachines(); mi++ {
+			row = append(row, means[ti][mi])
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("grand mean %.1f ticks; capacity ≈ %.4f tasks/tick\n",
+		matrix.GrandMean(), float64(matrix.NumMachines())/matrix.GrandMean())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tbl.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("CSV written to %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "petgen:", err)
+	os.Exit(1)
+}

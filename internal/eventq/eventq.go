@@ -1,0 +1,93 @@
+// Package eventq provides the time-ordered event queue driving the
+// discrete-event simulator: a binary heap keyed by (tick, sequence) so that
+// simultaneous events pop in deterministic insertion order, which keeps
+// trials reproducible across runs and platforms.
+package eventq
+
+import "container/heap"
+
+// Kind distinguishes the simulator's event types.
+type Kind int
+
+const (
+	// Arrival: a task enters the batch queue.
+	Arrival Kind = iota
+	// Completion: a machine finishes its executing task.
+	Completion
+)
+
+// Event is one scheduled occurrence.
+type Event struct {
+	Tick    int64
+	Kind    Kind
+	TaskID  int // valid for Arrival
+	Machine int // valid for Completion
+	seq     uint64
+	index   int
+}
+
+// Queue is a deterministic min-heap of events. The zero value is ready to
+// use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Push schedules an event; ties on Tick break by insertion order.
+func (q *Queue) Push(e Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, &e)
+}
+
+// Pop removes and returns the earliest event. ok is false when empty.
+func (q *Queue) Pop() (Event, bool) {
+	if q.h.Len() == 0 {
+		return Event{}, false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	return *e, true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() (Event, bool) {
+	if q.h.Len() == 0 {
+		return Event{}, false
+	}
+	return *q.h[0], true
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return q.h.Len() }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Tick != h[j].Tick {
+		return h[i].Tick < h[j].Tick
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,224 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section VII) plus the ablation studies called out in DESIGN.md. Each
+// experiment sweeps its parameter, fans independent workload trials out
+// over a worker pool, and aggregates robustness/fairness/cost with 95%
+// confidence intervals.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"taskprune/internal/metrics"
+	"taskprune/internal/pet"
+	"taskprune/internal/report"
+	"taskprune/internal/simulator"
+	"taskprune/internal/stats"
+	"taskprune/internal/workload"
+)
+
+// Options controls experiment scale. The zero value is unusable; start
+// from DefaultOptions.
+type Options struct {
+	// Trials per configuration point (paper: 30).
+	Trials int
+	// Tasks per trial (paper: 800).
+	Tasks int
+	// Seed is the base seed; trial k uses Seed + k so all series at the
+	// same load level see identical workloads.
+	Seed int64
+	// Workers bounds trial parallelism (0 → GOMAXPROCS).
+	Workers int
+	// Beta is the deadline slack coefficient for generated workloads.
+	Beta float64
+	// VarFrac is the arrival-gamma variance fraction (paper: 0.10).
+	VarFrac float64
+}
+
+// DefaultOptions mirrors the paper's experimental scale.
+func DefaultOptions() Options {
+	return Options{Trials: 30, Tasks: 800, Seed: 1, Workers: 0, Beta: 2.0, VarFrac: 0.10}
+}
+
+// QuickOptions is a reduced-scale profile for smoke tests and benchmarks.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Trials = 5
+	return o
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) workloadConfig(level float64) workload.Config {
+	return workload.Config{
+		NumTasks: o.Tasks,
+		Rate:     workload.RateForLevel(level),
+		VarFrac:  o.VarFrac,
+		Beta:     o.Beta,
+	}
+}
+
+// petCache builds each PET matrix exactly once per process: the paper
+// holds the PET "constant across all of our experiments".
+var petCache struct {
+	once  sync.Once
+	spec  *pet.Matrix
+	video *pet.Matrix
+}
+
+// petSeed fixes PET profiling randomness across the whole evaluation.
+const petSeed = 0xBEEF
+
+// SPECPET returns the shared 12×8 SPEC-like PET matrix.
+func SPECPET() *pet.Matrix {
+	petCache.once.Do(buildPETs)
+	return petCache.spec
+}
+
+// VideoPET returns the shared 4×4 video-transcoding PET matrix.
+func VideoPET() *pet.Matrix {
+	petCache.once.Do(buildPETs)
+	return petCache.video
+}
+
+func buildPETs() {
+	rng := stats.NewRNG(petSeed)
+	petCache.spec = pet.MustBuild(pet.SPECLikeMeans(), pet.DefaultBuildConfig(), rng)
+	petCache.video = pet.MustBuild(pet.VideoMeans(), pet.DefaultBuildConfig(), rng)
+}
+
+// RunPoint executes Trials independent workload trials of one system
+// configuration in parallel and returns the per-trial statistics in trial
+// order.
+func (o Options) RunPoint(matrix *pet.Matrix, wcfg workload.Config, simCfg simulator.Config) ([]metrics.TrialStats, error) {
+	if o.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: Trials must be positive, got %d", o.Trials)
+	}
+	results := make([]metrics.TrialStats, o.Trials)
+	errs := make([]error, o.Trials)
+	sem := make(chan struct{}, o.workers())
+	var wg sync.WaitGroup
+	for trial := 0; trial < o.Trials; trial++ {
+		wg.Add(1)
+		go func(trial int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := stats.NewRNG(o.Seed + int64(trial))
+			tasks, err := workload.Generate(wcfg, matrix, rng)
+			if err != nil {
+				errs[trial] = err
+				return
+			}
+			sim, err := simulator.New(simCfg)
+			if err != nil {
+				errs[trial] = err
+				return
+			}
+			st, err := sim.Run(tasks)
+			if err != nil {
+				errs[trial] = err
+				return
+			}
+			results[trial] = st
+		}(trial)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Point is one x-position of one series in a figure.
+type Point struct {
+	Series string // series label (heuristic name, configuration, ...)
+	Label  string // x-axis label ("19k", "λ=0.9", ...)
+
+	Robustness stats.CI // % tasks completed on time
+	Variance   stats.CI // variance of per-type completion % (fairness)
+	CostPerPct stats.CI // $ per robustness point
+
+	Trials []metrics.TrialStats
+}
+
+// NewPoint aggregates trial statistics into a Point.
+func NewPoint(series, label string, trials []metrics.TrialStats) Point {
+	return Point{
+		Series:     series,
+		Label:      label,
+		Robustness: stats.Confidence95(metrics.RobustnessValues(trials)),
+		Variance:   stats.Confidence95(metrics.VarianceValues(trials)),
+		CostPerPct: stats.Confidence95(metrics.CostValues(trials)),
+		Trials:     trials,
+	}
+}
+
+// Figure is a regenerated paper figure: a named set of points.
+type Figure struct {
+	Name    string
+	Caption string
+	Points  []Point
+}
+
+// RobustnessTable renders the figure's robustness series as a text table.
+func (f *Figure) RobustnessTable() *report.Table {
+	t := report.NewTable(fmt.Sprintf("%s — %s", f.Name, f.Caption),
+		"series", "x", "robustness % (mean ± 95% CI)")
+	for _, p := range f.Points {
+		t.AddRow(p.Series, p.Label, report.FormatCI(p.Robustness.Mean, p.Robustness.HalfSpan))
+	}
+	return t
+}
+
+// CostTable renders the figure's cost series (millidollars per robustness
+// point).
+func (f *Figure) CostTable() *report.Table {
+	t := report.NewTable(fmt.Sprintf("%s — %s", f.Name, f.Caption),
+		"series", "x", "cost m$ / robustness pct (mean ± 95% CI)")
+	for _, p := range f.Points {
+		t.AddRow(p.Series, p.Label, report.FormatCIPrec(p.CostPerPct.Mean, p.CostPerPct.HalfSpan, 3))
+	}
+	return t
+}
+
+// FairnessTable renders variance-of-type-completions plus robustness.
+func (f *Figure) FairnessTable() *report.Table {
+	t := report.NewTable(fmt.Sprintf("%s — %s", f.Name, f.Caption),
+		"series", "x", "type-completion variance", "robustness %")
+	for _, p := range f.Points {
+		t.AddRow(p.Series, p.Label,
+			report.FormatCI(p.Variance.Mean, p.Variance.HalfSpan),
+			report.FormatCI(p.Robustness.Mean, p.Robustness.HalfSpan))
+	}
+	return t
+}
+
+// RobustnessChart renders the figure's robustness points as an ASCII bar
+// chart for terminal eyeballing.
+func (f *Figure) RobustnessChart() *report.Chart {
+	c := report.NewChart(fmt.Sprintf("%s — %s", f.Name, f.Caption), "%")
+	for _, p := range f.Points {
+		c.AddWithError(p.Series+" @"+p.Label, p.Robustness.Mean, p.Robustness.HalfSpan)
+	}
+	return c
+}
+
+// FindPoint returns the first point with the given series and label, for
+// tests and cross-experiment assertions.
+func (f *Figure) FindPoint(series, label string) (Point, bool) {
+	for _, p := range f.Points {
+		if p.Series == series && p.Label == label {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

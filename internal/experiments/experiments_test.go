@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"taskprune/internal/simulator"
+	"taskprune/internal/workload"
+)
+
+// tinyOptions keeps experiment smoke tests fast on a single core.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Trials = 2
+	o.Tasks = 150
+	return o
+}
+
+func TestSharedPETs(t *testing.T) {
+	spec := SPECPET()
+	if spec.NumTypes() != 12 || spec.NumMachines() != 8 {
+		t.Errorf("SPEC PET is %dx%d, want 12x8", spec.NumTypes(), spec.NumMachines())
+	}
+	video := VideoPET()
+	if video.NumTypes() != 4 || video.NumMachines() != 4 {
+		t.Errorf("video PET is %dx%d, want 4x4", video.NumTypes(), video.NumMachines())
+	}
+	if SPECPET() != spec {
+		t.Error("SPECPET not cached (paper holds the PET constant)")
+	}
+}
+
+func TestRunPointDeterminism(t *testing.T) {
+	o := tinyOptions()
+	matrix := SPECPET()
+	wcfg := o.workloadConfig(workload.Level19k)
+	cfg := simulator.MustConfigFor("MM", matrix)
+	a, err := o.RunPoint(matrix, wcfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.RunPoint(matrix, wcfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].RobustnessPct != b[i].RobustnessPct {
+			t.Errorf("trial %d: %v vs %v", i, a[i].RobustnessPct, b[i].RobustnessPct)
+		}
+	}
+}
+
+func TestRunPointTrialsDiffer(t *testing.T) {
+	o := tinyOptions()
+	o.Trials = 3
+	matrix := SPECPET()
+	wcfg := o.workloadConfig(workload.Level19k)
+	trials, err := o.RunPoint(matrix, wcfg, simulator.MustConfigFor("MM", matrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allSame := true
+	for i := 1; i < len(trials); i++ {
+		if trials[i].RobustnessPct != trials[0].RobustnessPct {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("all trials identical; per-trial seeds not applied")
+	}
+}
+
+func TestRunPointValidation(t *testing.T) {
+	o := tinyOptions()
+	o.Trials = 0
+	_, err := o.RunPoint(SPECPET(), o.workloadConfig(workload.Level19k), simulator.MustConfigFor("MM", SPECPET()))
+	if err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	fig, err := Fig7(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 12 { // 6 heuristics × 2 levels
+		t.Fatalf("points = %d, want 12", len(fig.Points))
+	}
+	for _, p := range fig.Points {
+		if p.Robustness.Mean < 0 || p.Robustness.Mean > 100 {
+			t.Errorf("%s@%s robustness %v out of range", p.Series, p.Label, p.Robustness.Mean)
+		}
+	}
+	if _, ok := fig.FindPoint("PAM", "34k"); !ok {
+		t.Error("PAM@34k point missing")
+	}
+	tbl := fig.RobustnessTable().String()
+	if !strings.Contains(tbl, "PAM") || !strings.Contains(tbl, "±") {
+		t.Errorf("table rendering incomplete:\n%s", tbl)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	fig, err := Fig9(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 8 { // 2 heuristics × 4 levels
+		t.Fatalf("points = %d, want 8", len(fig.Points))
+	}
+	if _, ok := fig.FindPoint("PAMF", "12.5k"); !ok {
+		t.Error("PAMF@12.5k point missing")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	o := tinyOptions()
+	fig, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 12 { // 6 factors × 2 levels
+		t.Fatalf("points = %d, want 12", len(fig.Points))
+	}
+	tbl := fig.FairnessTable().String()
+	if !strings.Contains(tbl, "ϑ=5%") {
+		t.Errorf("fairness table missing factor label:\n%s", tbl)
+	}
+}
+
+func TestFigureTables(t *testing.T) {
+	fig := &Figure{Name: "X", Caption: "c"}
+	fig.Points = append(fig.Points, NewPoint("S", "L", nil))
+	for _, tbl := range []string{
+		fig.RobustnessTable().String(),
+		fig.CostTable().String(),
+		fig.FairnessTable().String(),
+	} {
+		if !strings.Contains(tbl, "X — c") || !strings.Contains(tbl, "S") {
+			t.Errorf("table missing identity:\n%s", tbl)
+		}
+	}
+	if _, ok := fig.FindPoint("S", "nope"); ok {
+		t.Error("FindPoint matched a missing label")
+	}
+}

@@ -1,0 +1,256 @@
+// Package heuristics implements the paper's six batch mapping heuristics:
+// the baselines MM (MinCompletion-MinCompletion), MSD
+// (MinCompletion-SoonestDeadline), MMU (MinCompletion-MaxUrgency) and MOC
+// (Max Ontime Completions), plus the paper's contributions PAM
+// (Pruning-Aware Mapper) and PAMF (Fair Pruning Mapper).
+//
+// All heuristics are two-phase batch mappers (Section V-D): phase one finds
+// the best machine for every unmapped task by a per-heuristic objective;
+// phase two repeatedly commits the best task-machine pair to that machine's
+// (virtual) queue until machine queues are full or the batch is exhausted.
+package heuristics
+
+import (
+	"fmt"
+
+	"taskprune/internal/machine"
+	"taskprune/internal/pet"
+	"taskprune/internal/pmf"
+	"taskprune/internal/pruner"
+	"taskprune/internal/task"
+)
+
+// Context is the system state a heuristic sees at one mapping event.
+type Context struct {
+	Now         int64
+	Machines    []*machine.Machine
+	PET         *pet.Matrix
+	Mode        pmf.DropMode // governs completion-time convolution semantics
+	MaxImpulses int          // PMF compaction bound (0 = none)
+
+	// Pruner is consulted by pruning-aware heuristics for deferring
+	// decisions; nil for baselines.
+	Pruner *pruner.Pruner
+	// Fairness supplies per-type sufferage values for PAMF; nil otherwise.
+	Fairness *pruner.FairnessTracker
+}
+
+// sufferage returns the current sufferage for a task type, or 0 when no
+// fairness tracking is active.
+func (c *Context) sufferage(t task.Type) float64 {
+	if c.Fairness == nil {
+		return 0
+	}
+	return c.Fairness.Sufferage(t)
+}
+
+// Result reports what a mapping event did.
+type Result struct {
+	// Assigned tasks were enqueued onto machines (already committed).
+	Assigned []*task.Task
+	// Deferred tasks were considered but held back by the pruner; they
+	// remain in the batch queue.
+	Deferred []*task.Task
+	// Culled tasks were removed from the system by the heuristic itself
+	// (MOC's sub-threshold culling — the paper: tasks are "mapped or
+	// dropped"). The simulator exits them as dropped.
+	Culled []*task.Task
+}
+
+// Heuristic is a batch mapping policy.
+type Heuristic interface {
+	// Name returns the short label used in figures ("PAM", "MM", ...).
+	Name() string
+	// UsesPruning reports whether the simulator should run the dropping
+	// stage of the pruning mechanism for this heuristic.
+	UsesPruning() bool
+	// Map assigns tasks from batch (all unexpired, unmapped) onto
+	// ctx.Machines, enqueueing directly, and reports what happened.
+	Map(ctx *Context, batch []*task.Task) Result
+}
+
+// New constructs a heuristic by figure label. Recognized names: MM, MSD,
+// MMU, MOC, PAM, PAMF.
+func New(name string) (Heuristic, error) {
+	switch name {
+	case "MM":
+		return MM{}, nil
+	case "MSD":
+		return MSD{}, nil
+	case "MMU":
+		return MMU{}, nil
+	case "MOC":
+		return NewMOC(DefaultMOCThreshold), nil
+	case "PAM":
+		return PAM{}, nil
+	case "PAMF":
+		return PAMF{}, nil
+	default:
+		return nil, fmt.Errorf("heuristics: unknown heuristic %q", name)
+	}
+}
+
+// AllNames lists every heuristic label in the order the paper's figures use.
+func AllNames() []string { return []string{"PAM", "PAMF", "MOC", "MM", "MSD", "MMU"} }
+
+// totalFreeSlots sums free queue slots across machines.
+func totalFreeSlots(ms []*machine.Machine) int {
+	n := 0
+	for _, m := range ms {
+		n += m.FreeSlots()
+	}
+	return n
+}
+
+// scalarState tracks expected machine-ready times for the scalar baselines;
+// it is updated incrementally as phase two commits assignments.
+type scalarState struct {
+	ready []float64
+}
+
+func newScalarState(ctx *Context) *scalarState {
+	s := &scalarState{ready: make([]float64, len(ctx.Machines))}
+	for i, m := range ctx.Machines {
+		s.ready[i] = m.ExpectedReady(ctx.Now, ctx.PET)
+	}
+	return s
+}
+
+// ect returns the expected completion time of task t on machine mi.
+func (s *scalarState) ect(ctx *Context, t *task.Task, mi int) float64 {
+	return s.ready[mi] + ctx.PET.EstMean(t.Type, mi)
+}
+
+// bestMachine returns the machine index minimizing expected completion time
+// among machines with free slots; ok is false when no machine has room.
+func (s *scalarState) bestMachine(ctx *Context, t *task.Task) (mi int, ect float64, ok bool) {
+	best := -1
+	var bestECT float64
+	for i, m := range ctx.Machines {
+		if m.FreeSlots() <= 0 {
+			continue
+		}
+		e := s.ect(ctx, t, i)
+		if best == -1 || e < bestECT {
+			best, bestECT = i, e
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestECT, true
+}
+
+// commit enqueues t on machine mi and advances the expected ready time.
+func (s *scalarState) commit(ctx *Context, t *task.Task, mi int) {
+	if err := ctx.Machines[mi].Enqueue(t); err != nil {
+		panic(fmt.Sprintf("heuristics: commit to full machine %d: %v", mi, err))
+	}
+	s.ready[mi] += ctx.PET.EstMean(t.Type, mi)
+}
+
+// probState tracks machine tail free-time PMFs for the robustness-based
+// heuristics (MOC, PAM, PAMF), updated incrementally on commit.
+//
+// Phase one needs only two scalars per (task, machine) pair — success
+// probability and expected machine-free time — which the PET's prefix-sum
+// profiles yield in O(|tail|) without materializing a convolution
+// (pmf.DropSuccess / pmf.DropExpectedFree). Full convolutions happen only
+// when a pair is committed, to produce the machine's next tail PMF.
+// Evaluations are additionally cached per task and invalidated per machine
+// by generation counter, since a commit perturbs exactly one tail.
+type probState struct {
+	tails []*pmf.PMF
+	gen   []uint32
+	cache map[*task.Task]*taskEval
+}
+
+// fastEval is a cached phase-one evaluation of one (task, machine) pair.
+type fastEval struct {
+	success float64
+	expFree float64
+}
+
+type taskEval struct {
+	res []fastEval
+	gen []uint32
+	has []bool
+}
+
+func newProbState(ctx *Context) *probState {
+	s := &probState{
+		tails: make([]*pmf.PMF, len(ctx.Machines)),
+		gen:   make([]uint32, len(ctx.Machines)),
+		cache: make(map[*task.Task]*taskEval),
+	}
+	for i, m := range ctx.Machines {
+		s.tails[i] = m.FreeTimePMF(ctx.Now, ctx.PET, ctx.Mode, ctx.MaxImpulses)
+	}
+	return s
+}
+
+// evaluate returns the (cached) fast evaluation of task t on machine mi.
+func (s *probState) evaluate(ctx *Context, t *task.Task, mi int) fastEval {
+	te := s.cache[t]
+	if te == nil {
+		n := len(ctx.Machines)
+		te = &taskEval{res: make([]fastEval, n), gen: make([]uint32, n), has: make([]bool, n)}
+		s.cache[t] = te
+	}
+	if te.has[mi] && te.gen[mi] == s.gen[mi] {
+		return te.res[mi]
+	}
+	prof := ctx.PET.Profile(t.Type, mi)
+	r := fastEval{
+		success: pmf.DropSuccess(s.tails[mi], prof, t.Deadline),
+		expFree: pmf.DropExpectedFree(s.tails[mi], prof, t.Deadline, ctx.Mode),
+	}
+	te.res[mi], te.gen[mi], te.has[mi] = r, s.gen[mi], true
+	return r
+}
+
+// bestByRobustness returns the free-slot machine maximizing the task's
+// success probability, together with the evaluation; ok is false when no
+// machine has room. Ties (common once robustness saturates at 1.0 on
+// several machines) break toward the earliest expected completion —
+// without this, every saturated task would pile onto the lowest-indexed
+// machine.
+func (s *probState) bestByRobustness(ctx *Context, t *task.Task) (mi int, ev fastEval, ok bool) {
+	const tieEps = 1e-9
+	best := -1
+	var bestEv fastEval
+	for i, m := range ctx.Machines {
+		if m.FreeSlots() <= 0 {
+			continue
+		}
+		r := s.evaluate(ctx, t, i)
+		switch {
+		case best == -1 || r.success > bestEv.success+tieEps:
+			best, bestEv = i, r
+		case r.success > bestEv.success-tieEps && r.expFree < bestEv.expFree:
+			best, bestEv = i, r
+		}
+	}
+	if best == -1 {
+		return 0, fastEval{}, false
+	}
+	return best, bestEv, true
+}
+
+// commit enqueues t on machine mi, folds its execution into the tail with
+// one full dropping-aware convolution, and invalidates cached evaluations
+// against that machine.
+func (s *probState) commit(ctx *Context, t *task.Task, mi int) {
+	if err := ctx.Machines[mi].Enqueue(t); err != nil {
+		panic(fmt.Sprintf("heuristics: commit to full machine %d: %v", mi, err))
+	}
+	res := pmf.ConvolveDrop(s.tails[mi], ctx.PET.PMF(t.Type, mi), t.Deadline, ctx.Mode)
+	s.tails[mi] = pmf.Compact(res.Free, ctx.MaxImpulses)
+	s.gen[mi]++
+	delete(s.cache, t)
+}
+
+// removeTask deletes the element at index i from ts, order-preserving.
+func removeTask(ts []*task.Task, i int) []*task.Task {
+	return append(ts[:i], ts[i+1:]...)
+}

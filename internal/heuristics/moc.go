@@ -1,0 +1,139 @@
+package heuristics
+
+import (
+	"sort"
+
+	"taskprune/internal/pmf"
+	"taskprune/internal/task"
+)
+
+// DefaultMOCThreshold is the pre-defined robustness culling threshold of
+// the MOC heuristic (paper Section VI-C4: 30%).
+const DefaultMOCThreshold = 0.30
+
+// MOC is Max Ontime Completions (Salehi et al., JPDC 2016), the strongest
+// baseline: it uses the PET matrix to compute mapping robustness. Phase one
+// pairs each task with its highest-robustness machine; a culling phase
+// removes pairs under the robustness threshold; the last phase takes the
+// three highest-robustness pairs and permutes their commit order to find
+// the assignment maximizing overall robustness, committing one pair per
+// iteration.
+//
+// MOC cannot probabilistically drop already-mapped tasks — the paper's
+// point is that this inability wastes machine time under oversubscription.
+type MOC struct {
+	// Threshold is the culling robustness floor.
+	Threshold float64
+}
+
+// NewMOC builds an MOC instance with the given culling threshold.
+func NewMOC(threshold float64) MOC { return MOC{Threshold: threshold} }
+
+// Name implements Heuristic.
+func (MOC) Name() string { return "MOC" }
+
+// UsesPruning implements Heuristic.
+func (MOC) UsesPruning() bool { return false }
+
+type mocPair struct {
+	taskIdx int
+	machine int
+	ev      fastEval
+}
+
+// Map implements Heuristic.
+func (h MOC) Map(ctx *Context, batch []*task.Task) Result {
+	var out Result
+	st := newProbState(ctx)
+	remaining := append([]*task.Task(nil), batch...)
+	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
+		// Phase 1: best machine per task by robustness.
+		pairs := make([]mocPair, 0, len(remaining))
+		for i, t := range remaining {
+			mi, ev, ok := st.bestByRobustness(ctx, t)
+			if !ok {
+				break
+			}
+			pairs = append(pairs, mocPair{taskIdx: i, machine: mi, ev: ev})
+		}
+		if len(pairs) == 0 {
+			break
+		}
+		// Culling phase: pairs below the robustness threshold are dropped
+		// from the system entirely — the paper's MOC maps or drops every
+		// batch task ("until all tasks in the batch queue are mapped or
+		// dropped").
+		kept := pairs[:0]
+		for _, p := range pairs {
+			if p.ev.success >= h.Threshold {
+				kept = append(kept, p)
+			} else {
+				out.Culled = append(out.Culled, remaining[p.taskIdx])
+			}
+		}
+		if len(out.Culled) > 0 {
+			culledSet := make(map[*task.Task]bool, len(out.Culled))
+			for _, tk := range out.Culled {
+				culledSet[tk] = true
+			}
+			// Rebuild remaining and re-index surviving pairs.
+			idx := make(map[*task.Task]int, len(remaining))
+			var next []*task.Task
+			for _, tk := range remaining {
+				if !culledSet[tk] {
+					idx[tk] = len(next)
+					next = append(next, tk)
+				}
+			}
+			for i := range kept {
+				kept[i].taskIdx = idx[remaining[kept[i].taskIdx]]
+			}
+			remaining = next
+		}
+		pairs = kept
+		if len(pairs) == 0 {
+			break
+		}
+		// Final phase: among the top three pairs by robustness, pick the
+		// commit whose tentative assignment leaves the highest total
+		// robustness across the trio (the paper's small permutation
+		// search).
+		sort.SliceStable(pairs, func(a, b int) bool {
+			return pairs[a].ev.success > pairs[b].ev.success
+		})
+		top := pairs
+		if len(top) > 3 {
+			top = top[:3]
+		}
+		bestPick := 0
+		if len(top) > 1 {
+			bestTotal := -1.0
+			for pick, cand := range top {
+				tc := remaining[cand.taskIdx]
+				full := pmf.ConvolveDrop(st.tails[cand.machine], ctx.PET.PMF(tc.Type, cand.machine), tc.Deadline, ctx.Mode)
+				tail := pmf.Compact(full.Free, ctx.MaxImpulses)
+				total := cand.ev.success
+				for other, p := range top {
+					if other == pick {
+						continue
+					}
+					t := remaining[p.taskIdx]
+					if p.machine == cand.machine {
+						total += pmf.DropSuccess(tail, ctx.PET.Profile(t.Type, p.machine), t.Deadline)
+					} else {
+						total += p.ev.success
+					}
+				}
+				if total > bestTotal {
+					bestTotal, bestPick = total, pick
+				}
+			}
+		}
+		chosen := top[bestPick]
+		t := remaining[chosen.taskIdx]
+		st.commit(ctx, t, chosen.machine)
+		out.Assigned = append(out.Assigned, t)
+		remaining = removeTask(remaining, chosen.taskIdx)
+	}
+	return out
+}

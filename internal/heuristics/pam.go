@@ -1,0 +1,113 @@
+package heuristics
+
+import (
+	"taskprune/internal/task"
+)
+
+// PAM is the paper's Pruning-Aware Mapper (Section V-D1). Phase one pairs
+// each unmapped task with the machine offering the highest robustness;
+// tasks whose best robustness falls below the deferring threshold are
+// pruned (returned to the batch queue). Phase two commits the pair with
+// the lowest expected completion time, breaking ties by shortest expected
+// execution time. The dropping stage of the pruning mechanism runs in the
+// simulator before Map is called (UsesPruning reports true).
+type PAM struct{}
+
+// Name implements Heuristic.
+func (PAM) Name() string { return "PAM" }
+
+// UsesPruning implements Heuristic.
+func (PAM) UsesPruning() bool { return true }
+
+// Map implements Heuristic.
+func (PAM) Map(ctx *Context, batch []*task.Task) Result {
+	return pruningMap(ctx, batch)
+}
+
+// PAMF is the Fair Pruning Mapper (Section V-D2): PAM plus per-task-type
+// sufferage values that relax both pruning thresholds for types that have
+// been suffering misses. The sufferage bookkeeping lives in the
+// FairnessTracker the simulator exposes via the Context; the mapping logic
+// is otherwise identical to PAM.
+type PAMF struct{}
+
+// Name implements Heuristic.
+func (PAMF) Name() string { return "PAMF" }
+
+// UsesPruning implements Heuristic.
+func (PAMF) UsesPruning() bool { return true }
+
+// Map implements Heuristic.
+func (PAMF) Map(ctx *Context, batch []*task.Task) Result {
+	return pruningMap(ctx, batch)
+}
+
+type pamPair struct {
+	taskIdx int
+	machine int
+	ev      fastEval
+}
+
+// pruningMap is the shared PAM/PAMF mapping loop.
+func pruningMap(ctx *Context, batch []*task.Task) Result {
+	var out Result
+	st := newProbState(ctx)
+	remaining := append([]*task.Task(nil), batch...)
+	deferred := make(map[*task.Task]bool)
+
+	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
+		// Phase 1: best machine by robustness; defer sub-threshold tasks.
+		// Deferral is decided first so that pair indices refer to the
+		// post-deferral (kept) task list.
+		kept := remaining[:0]
+		for _, t := range remaining {
+			_, ev, ok := st.bestByRobustness(ctx, t)
+			if !ok {
+				kept = append(kept, t) // no free slot anywhere; keep as-is
+				continue
+			}
+			if ctx.Pruner != nil && ctx.Pruner.ShouldDefer(ev.success, ctx.sufferage(t.Type)) {
+				if !deferred[t] {
+					deferred[t] = true
+					out.Deferred = append(out.Deferred, t)
+					t.Defers++
+				}
+				continue
+			}
+			kept = append(kept, t)
+		}
+		remaining = kept
+		pairs := make([]pamPair, 0, len(remaining))
+		for i, t := range remaining {
+			mi, ev, ok := st.bestByRobustness(ctx, t)
+			if !ok {
+				break
+			}
+			pairs = append(pairs, pamPair{taskIdx: i, machine: mi, ev: ev})
+		}
+		if len(pairs) == 0 {
+			break
+		}
+		// Phase 2: commit the minimum expected-completion pair; ties break
+		// by shortest expected execution time.
+		best := 0
+		for i := 1; i < len(pairs); i++ {
+			a, b := pairs[i], pairs[best]
+			switch {
+			case a.ev.expFree < b.ev.expFree:
+				best = i
+			case a.ev.expFree == b.ev.expFree:
+				ta, tb := remaining[a.taskIdx], remaining[b.taskIdx]
+				if ctx.PET.EstMean(ta.Type, a.machine) < ctx.PET.EstMean(tb.Type, b.machine) {
+					best = i
+				}
+			}
+		}
+		chosen := pairs[best]
+		t := remaining[chosen.taskIdx]
+		st.commit(ctx, t, chosen.machine)
+		out.Assigned = append(out.Assigned, t)
+		remaining = removeTask(remaining, chosen.taskIdx)
+	}
+	return out
+}

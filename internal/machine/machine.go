@@ -1,0 +1,236 @@
+// Package machine models one heterogeneous compute node: a worker with a
+// bounded FCFS local queue (paper: size six including the executing task),
+// busy-time accounting for the cost study, and the probabilistic
+// machine-availability view (tail PCT) that robustness-based mappers
+// consume.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"taskprune/internal/pet"
+	"taskprune/internal/pmf"
+	"taskprune/internal/task"
+)
+
+// ErrQueueFull is returned by Enqueue when every slot is taken.
+var ErrQueueFull = errors.New("machine: queue full")
+
+// Machine is a single compute node. It is owned by one simulator goroutine
+// and is not safe for concurrent mutation.
+type Machine struct {
+	ID       int
+	Name     string
+	Price    float64 // dollars per hour of busy time (cost model)
+	QueueCap int     // total capacity including the executing task
+
+	executing *task.Task
+	pending   []*task.Task
+
+	busyTicks int64
+	runStart  int64
+}
+
+// New creates an idle machine.
+func New(id int, name string, queueCap int, price float64) *Machine {
+	if queueCap < 1 {
+		panic(fmt.Sprintf("machine: queue capacity must be >= 1, got %d", queueCap))
+	}
+	return &Machine{ID: id, Name: name, QueueCap: queueCap, Price: price}
+}
+
+// Executing returns the running task, or nil when idle.
+func (m *Machine) Executing() *task.Task { return m.executing }
+
+// Pending returns the queued (not yet executing) tasks in FCFS order. The
+// returned slice is the machine's own; callers must not mutate it.
+func (m *Machine) Pending() []*task.Task { return m.pending }
+
+// QueueLen returns the number of tasks on the machine, counting the
+// executing one.
+func (m *Machine) QueueLen() int {
+	n := len(m.pending)
+	if m.executing != nil {
+		n++
+	}
+	return n
+}
+
+// FreeSlots returns how many more tasks can be enqueued.
+func (m *Machine) FreeSlots() int { return m.QueueCap - m.QueueLen() }
+
+// Idle reports whether nothing is executing.
+func (m *Machine) Idle() bool { return m.executing == nil }
+
+// Enqueue appends t to the local queue.
+func (m *Machine) Enqueue(t *task.Task) error {
+	if m.FreeSlots() <= 0 {
+		return ErrQueueFull
+	}
+	t.State = task.StateQueued
+	t.Machine = m.ID
+	m.pending = append(m.pending, t)
+	return nil
+}
+
+// StartNext promotes the queue head to executing at tick now and returns
+// it, or nil if the queue is empty or something is already running.
+func (m *Machine) StartNext(now int64) *task.Task {
+	if m.executing != nil || len(m.pending) == 0 {
+		return nil
+	}
+	t := m.pending[0]
+	copy(m.pending, m.pending[1:])
+	m.pending = m.pending[:len(m.pending)-1]
+	m.executing = t
+	m.runStart = now
+	t.State = task.StateRunning
+	t.Start = now
+	return t
+}
+
+// FinishExecuting clears the executing slot at tick now, accumulating busy
+// time, and returns the task. It panics if nothing is running (a simulator
+// bug, not a recoverable condition).
+func (m *Machine) FinishExecuting(now int64) *task.Task {
+	if m.executing == nil {
+		panic("machine: FinishExecuting on idle machine")
+	}
+	t := m.executing
+	m.busyTicks += now - m.runStart
+	m.executing = nil
+	return t
+}
+
+// RemovePending removes the given task from the pending queue, returning
+// false if it is not there.
+func (m *Machine) RemovePending(t *task.Task) bool {
+	for i, q := range m.pending {
+		if q == t {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// BusyTicks returns the accumulated busy time, including the in-progress
+// run up to tick now.
+func (m *Machine) BusyTicks(now int64) int64 {
+	b := m.busyTicks
+	if m.executing != nil && now > m.runStart {
+		b += now - m.runStart
+	}
+	return b
+}
+
+// Cost returns the dollar cost of this machine's busy time up to tick now,
+// with ticksPerHour converting simulation ticks to billable hours.
+func (m *Machine) Cost(now int64, ticksPerHour float64) float64 {
+	return float64(m.BusyTicks(now)) / ticksPerHour * m.Price
+}
+
+// QueueView is a snapshot of one queued (or executing) task's probabilistic
+// state, produced by AnalyzeQueue for the pruner.
+type QueueView struct {
+	Task       *task.Task
+	Position   int      // 0 = executing (or queue head when idle)
+	Completion *pmf.PMF // this task's machine-free-time PMF
+	Robustness float64  // P(success) under the configured drop mode
+	Skewness   float64  // bounded skewness of the completion PMF
+}
+
+// AnalyzeQueue chains completion-time PMFs through the executing task and
+// every pending task (paper Section IV), returning one QueueView per task
+// in queue order. The executing task's remaining time is its PET
+// conditioned on having already run for (now - Start) ticks. maxImpulses
+// bounds intermediate PMF width (0 disables compaction).
+func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode, maxImpulses int) []QueueView {
+	var views []QueueView
+	prev := pmf.Impulse(now)
+	pos := 0
+	if m.executing != nil {
+		t := m.executing
+		// The run began at t.Start with t.Consumed ticks already banked
+		// from earlier (preempted) runs: completion = start - consumed +
+		// total duration, conditioned on not having finished yet.
+		comp := matrix.PMF(t.Type, m.ID).Shift(t.Start - t.Consumed).ConditionAtLeast(now)
+		// The executing task is beyond the "pending" convolution regime:
+		// its success is simply the probability its remaining time beats
+		// the deadline; under Evict it frees the machine at the deadline.
+		rob := comp.SuccessProb(t.Deadline)
+		free := comp
+		if mode == pmf.Evict {
+			free = comp.Clone()
+			late := free.TruncateAfter(t.Deadline)
+			if late > 0 {
+				free.AddMass(t.Deadline, late)
+			}
+		}
+		free = pmf.Compact(free, maxImpulses)
+		views = append(views, QueueView{
+			Task: t, Position: pos, Completion: free,
+			Robustness: rob, Skewness: comp.BoundedSkewness(),
+		})
+		prev = free
+		pos++
+	}
+	for _, t := range m.pending {
+		exec := matrix.PMF(t.Type, m.ID)
+		if t.Consumed > 0 {
+			exec = exec.RemainingAfter(t.Consumed) // preempted: partial credit
+		}
+		res := pmf.ConvolveDrop(prev, exec, t.Deadline, mode)
+		free := pmf.Compact(res.Free, maxImpulses)
+		views = append(views, QueueView{
+			Task: t, Position: pos, Completion: free,
+			Robustness: res.Success, Skewness: res.Free.BoundedSkewness(),
+		})
+		prev = free
+		pos++
+	}
+	return views
+}
+
+// FreeTimePMF returns the PMF of the tick at which the machine finishes
+// everything currently assigned to it (the tail PCT robustness-based
+// mappers convolve candidate tasks against). For an empty machine it is an
+// impulse at now.
+func (m *Machine) FreeTimePMF(now int64, matrix *pet.Matrix, mode pmf.DropMode, maxImpulses int) *pmf.PMF {
+	views := m.AnalyzeQueue(now, matrix, mode, maxImpulses)
+	if len(views) == 0 {
+		return pmf.Impulse(now)
+	}
+	return views[len(views)-1].Completion
+}
+
+// ExpectedReady returns the scalar expected tick at which the machine could
+// begin one more task: now + expected remaining execution + expected
+// pending executions. Scalar heuristics (MM, MSD, MMU) build their
+// expected completion times on top of this.
+func (m *Machine) ExpectedReady(now int64, matrix *pet.Matrix) float64 {
+	ready := float64(now)
+	if m.executing != nil {
+		t := m.executing
+		rem := matrix.PMF(t.Type, m.ID).Shift(t.Start - t.Consumed).ConditionAtLeast(now)
+		ready = rem.Mean()
+	}
+	for _, t := range m.pending {
+		if t.Consumed > 0 {
+			ready += matrix.PMF(t.Type, m.ID).RemainingAfter(t.Consumed).Mean()
+		} else {
+			ready += matrix.EstMean(t.Type, m.ID)
+		}
+	}
+	return ready
+}
+
+// Reset returns the machine to its initial idle state (used by tests and
+// by trial reuse in benchmarks).
+func (m *Machine) Reset() {
+	m.executing = nil
+	m.pending = nil
+	m.busyTicks = 0
+	m.runStart = 0
+}

@@ -1,0 +1,261 @@
+package machine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"taskprune/internal/pet"
+	"taskprune/internal/pmf"
+	"taskprune/internal/stats"
+	"taskprune/internal/task"
+)
+
+// tinyPET builds a 2-type × 2-machine matrix with small deterministic-ish
+// profiles for queue-math tests.
+func tinyPET(t *testing.T) *pet.Matrix {
+	t.Helper()
+	cfg := pet.BuildConfig{Samples: 300, Bins: 16, MaxImpulses: 16, ShapeLo: 4, ShapeHi: 8}
+	m, err := pet.Build([][]float64{{10, 20}, {30, 15}}, cfg, stats.NewRNG(2))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func mkTask(id int, typ task.Type, deadline int64) *task.Task {
+	tk := task.New(id, typ, 0, deadline)
+	tk.TrueExec = []int64{10, 20}
+	return tk
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("queue capacity 0 did not panic")
+		}
+	}()
+	New(0, "m0", 0, 0.1)
+}
+
+func TestEnqueueCapacity(t *testing.T) {
+	m := New(0, "m0", 3, 0)
+	for i := 0; i < 3; i++ {
+		if err := m.Enqueue(mkTask(i, 0, 100)); err != nil {
+			t.Fatalf("Enqueue %d: %v", i, err)
+		}
+	}
+	if err := m.Enqueue(mkTask(3, 0, 100)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overfull Enqueue = %v, want ErrQueueFull", err)
+	}
+	if got := m.QueueLen(); got != 3 {
+		t.Errorf("QueueLen = %d, want 3", got)
+	}
+	if got := m.FreeSlots(); got != 0 {
+		t.Errorf("FreeSlots = %d, want 0", got)
+	}
+}
+
+func TestEnqueueSetsState(t *testing.T) {
+	m := New(1, "m1", 2, 0)
+	tk := mkTask(0, 0, 100)
+	if err := m.Enqueue(tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.State != task.StateQueued {
+		t.Errorf("State = %v, want queued", tk.State)
+	}
+	if tk.Machine != 1 {
+		t.Errorf("Machine = %d, want 1", tk.Machine)
+	}
+}
+
+func TestStartNextFCFS(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	a, b := mkTask(0, 0, 100), mkTask(1, 0, 100)
+	m.Enqueue(a)
+	m.Enqueue(b)
+	got := m.StartNext(5)
+	if got != a {
+		t.Fatalf("StartNext returned %v, want first-enqueued %v", got, a)
+	}
+	if a.State != task.StateRunning || a.Start != 5 {
+		t.Errorf("started task = %+v", a)
+	}
+	if m.Executing() != a {
+		t.Error("Executing() mismatch")
+	}
+	// Starting again while busy returns nil.
+	if m.StartNext(6) != nil {
+		t.Error("StartNext while busy should return nil")
+	}
+	// Pending preserved in order.
+	if len(m.Pending()) != 1 || m.Pending()[0] != b {
+		t.Error("pending queue corrupted")
+	}
+}
+
+func TestFinishExecutingAccountsBusyTime(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	a := mkTask(0, 0, 100)
+	m.Enqueue(a)
+	m.StartNext(10)
+	got := m.FinishExecuting(25)
+	if got != a {
+		t.Fatal("FinishExecuting returned wrong task")
+	}
+	if m.BusyTicks(25) != 15 {
+		t.Errorf("BusyTicks = %d, want 15", m.BusyTicks(25))
+	}
+	if !m.Idle() {
+		t.Error("machine should be idle after finish")
+	}
+}
+
+func TestFinishExecutingPanicsWhenIdle(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FinishExecuting on idle machine did not panic")
+		}
+	}()
+	m.FinishExecuting(5)
+}
+
+func TestBusyTicksIncludesInProgressRun(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	m.Enqueue(mkTask(0, 0, 100))
+	m.StartNext(10)
+	if got := m.BusyTicks(30); got != 20 {
+		t.Errorf("BusyTicks mid-run = %d, want 20", got)
+	}
+}
+
+func TestCost(t *testing.T) {
+	m := New(0, "m0", 6, 3.6) // $3.6/hour
+	m.Enqueue(mkTask(0, 0, 10_000_000))
+	m.StartNext(0)
+	m.FinishExecuting(1_800_000) // half an hour at 1000 ticks/sec... using ticksPerHour=3.6e6
+	if got := m.Cost(1_800_000, 3_600_000); math.Abs(got-1.8) > 1e-9 {
+		t.Errorf("Cost = %v, want 1.8 (half an hour at $3.6)", got)
+	}
+}
+
+func TestRemovePending(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	a, b, c := mkTask(0, 0, 100), mkTask(1, 0, 100), mkTask(2, 0, 100)
+	m.Enqueue(a)
+	m.Enqueue(b)
+	m.Enqueue(c)
+	if !m.RemovePending(b) {
+		t.Fatal("RemovePending(b) = false")
+	}
+	if m.RemovePending(b) {
+		t.Error("double remove succeeded")
+	}
+	p := m.Pending()
+	if len(p) != 2 || p[0] != a || p[1] != c {
+		t.Errorf("pending after removal = %v", p)
+	}
+}
+
+func TestAnalyzeQueueChains(t *testing.T) {
+	matrix := tinyPET(t)
+	m := New(0, "m0", 6, 0)
+	// Generous deadlines so nothing is hopeless.
+	a := mkTask(0, 0, 100)
+	b := mkTask(1, 1, 200)
+	c := mkTask(2, 0, 300)
+	m.Enqueue(a)
+	m.Enqueue(b)
+	m.Enqueue(c)
+	m.StartNext(0)
+
+	views := m.AnalyzeQueue(0, matrix, pmf.PendingDrop, 32)
+	if len(views) != 3 {
+		t.Fatalf("views = %d, want 3", len(views))
+	}
+	for i, v := range views {
+		if v.Position != i {
+			t.Errorf("view %d position = %d", i, v.Position)
+		}
+		if v.Robustness < 0 || v.Robustness > 1 {
+			t.Errorf("view %d robustness = %v", i, v.Robustness)
+		}
+		if math.Abs(v.Completion.Mass()-1) > 1e-6 {
+			t.Errorf("view %d completion mass = %v", i, v.Completion.Mass())
+		}
+	}
+	// With generous deadlines, each later queue position completes later in
+	// expectation.
+	if !(views[0].Completion.Mean() < views[1].Completion.Mean()) ||
+		!(views[1].Completion.Mean() < views[2].Completion.Mean()) {
+		t.Errorf("completion means not increasing down the queue: %v %v %v",
+			views[0].Completion.Mean(), views[1].Completion.Mean(), views[2].Completion.Mean())
+	}
+}
+
+func TestAnalyzeQueueExecutingConditioned(t *testing.T) {
+	matrix := tinyPET(t)
+	m := New(0, "m0", 6, 0)
+	a := mkTask(0, 0, 100)
+	m.Enqueue(a)
+	m.StartNext(0)
+	// After running 15 ticks (longer than the ~10-tick mean), the remaining
+	// completion time must be conditioned at now.
+	views := m.AnalyzeQueue(15, matrix, pmf.PendingDrop, 32)
+	if views[0].Completion.Start() < 15 {
+		t.Errorf("conditioned completion starts at %d, want >= 15", views[0].Completion.Start())
+	}
+}
+
+func TestFreeTimePMFIdle(t *testing.T) {
+	matrix := tinyPET(t)
+	m := New(0, "m0", 6, 0)
+	p := m.FreeTimePMF(42, matrix, pmf.PendingDrop, 32)
+	if p.At(42) != 1 {
+		t.Errorf("idle FreeTimePMF = %v, want impulse at 42", p)
+	}
+}
+
+func TestFreeTimePMFEvictBoundedByDeadline(t *testing.T) {
+	matrix := tinyPET(t)
+	m := New(0, "m0", 6, 0)
+	a := mkTask(0, 0, 12) // tight deadline
+	m.Enqueue(a)
+	m.StartNext(0)
+	p := m.FreeTimePMF(0, matrix, pmf.Evict, 32)
+	if p.End() > 12 {
+		t.Errorf("evict free time extends to %d past deadline 12", p.End())
+	}
+}
+
+func TestExpectedReady(t *testing.T) {
+	matrix := tinyPET(t)
+	m := New(0, "m0", 6, 0)
+	if got := m.ExpectedReady(7, matrix); got != 7 {
+		t.Errorf("idle ExpectedReady = %v, want 7", got)
+	}
+	a, b := mkTask(0, 0, 1000), mkTask(1, 1, 1000)
+	m.Enqueue(a)
+	m.Enqueue(b)
+	m.StartNext(0)
+	ready := m.ExpectedReady(0, matrix)
+	// Expected: remaining of a (≈ mean 10) plus estimated mean of b on
+	// machine 0 (≈ 30).
+	want := matrix.PMF(0, 0).Mean() + matrix.EstMean(1, 0)
+	if math.Abs(ready-want) > 3 {
+		t.Errorf("ExpectedReady = %v, want ≈ %v", ready, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	m.Enqueue(mkTask(0, 0, 100))
+	m.StartNext(0)
+	m.FinishExecuting(10)
+	m.Reset()
+	if !m.Idle() || m.QueueLen() != 0 || m.BusyTicks(100) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}

@@ -1,0 +1,143 @@
+package pet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"taskprune/internal/pmf"
+)
+
+// This file provides a stable on-disk representation of PET matrices so
+// that profiles built offline (the paper's "historic execution time
+// information ... in an offline manner") can be shipped to and loaded by a
+// production scheduler without re-sampling.
+
+// matrixJSON is the serialized form.
+type matrixJSON struct {
+	Version  int         `json:"version"`
+	NumTypes int         `json:"num_types"`
+	NumMach  int         `json:"num_machines"`
+	Entries  []entryJSON `json:"entries"`
+}
+
+type entryJSON struct {
+	Type    int       `json:"type"`
+	Machine int       `json:"machine"`
+	Mean    float64   `json:"mean"`
+	Shape   float64   `json:"shape"`
+	Ticks   []int64   `json:"ticks"`
+	Probs   []float64 `json:"probs"`
+}
+
+// serializeVersion guards against future format changes.
+const serializeVersion = 1
+
+// WriteJSON serializes the matrix.
+func (m *Matrix) WriteJSON(w io.Writer) error {
+	out := matrixJSON{
+		Version:  serializeVersion,
+		NumTypes: m.NumTypes(),
+		NumMach:  m.NumMachines(),
+	}
+	for ti := 0; ti < m.NumTypes(); ti++ {
+		for mi := 0; mi < m.NumMachines(); mi++ {
+			e := m.entries[ti][mi]
+			ticks, probs := e.PMF.Impulses()
+			out.Entries = append(out.Entries, entryJSON{
+				Type: ti, Machine: mi, Mean: e.Mean, Shape: e.Shape,
+				Ticks: ticks, Probs: probs,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a matrix written by WriteJSON, validating shape and
+// probability mass.
+func ReadJSON(r io.Reader) (*Matrix, error) {
+	var in matrixJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("pet: decode: %w", err)
+	}
+	if in.Version != serializeVersion {
+		return nil, fmt.Errorf("pet: unsupported serialization version %d", in.Version)
+	}
+	if in.NumTypes <= 0 || in.NumMach <= 0 {
+		return nil, fmt.Errorf("pet: invalid dimensions %dx%d", in.NumTypes, in.NumMach)
+	}
+	if len(in.Entries) != in.NumTypes*in.NumMach {
+		return nil, fmt.Errorf("pet: %d entries for %dx%d matrix", len(in.Entries), in.NumTypes, in.NumMach)
+	}
+	m := &Matrix{entries: make([][]Entry, in.NumTypes)}
+	for ti := range m.entries {
+		m.entries[ti] = make([]Entry, in.NumMach)
+	}
+	for _, e := range in.Entries {
+		if e.Type < 0 || e.Type >= in.NumTypes || e.Machine < 0 || e.Machine >= in.NumMach {
+			return nil, fmt.Errorf("pet: entry (%d,%d) out of range", e.Type, e.Machine)
+		}
+		if len(e.Ticks) != len(e.Probs) || len(e.Ticks) == 0 {
+			return nil, fmt.Errorf("pet: entry (%d,%d) has malformed impulses", e.Type, e.Machine)
+		}
+		if e.Mean <= 0 || e.Shape <= 0 {
+			return nil, fmt.Errorf("pet: entry (%d,%d) has non-positive mean/shape", e.Type, e.Machine)
+		}
+		p := &pmf.PMF{}
+		for i, tk := range e.Ticks {
+			if tk < 1 {
+				return nil, fmt.Errorf("pet: entry (%d,%d) has execution tick %d < 1", e.Type, e.Machine, tk)
+			}
+			if e.Probs[i] < 0 {
+				return nil, fmt.Errorf("pet: entry (%d,%d) has negative probability", e.Type, e.Machine)
+			}
+			p.AddMass(tk, e.Probs[i])
+		}
+		if mass := p.Mass(); mass < 0.999 || mass > 1.001 {
+			return nil, fmt.Errorf("pet: entry (%d,%d) mass %v not ~1", e.Type, e.Machine, mass)
+		}
+		p.Normalize()
+		m.entries[e.Type][e.Machine] = Entry{
+			PMF: p, Prof: pmf.NewProfile(p), Mean: e.Mean, Shape: e.Shape,
+		}
+	}
+	for ti := range m.entries {
+		for mi := range m.entries[ti] {
+			if m.entries[ti][mi].PMF == nil {
+				return nil, fmt.Errorf("pet: entry (%d,%d) missing", ti, mi)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Perturbed returns a copy of the matrix whose ground-truth execution
+// distributions (the ones SampleExec draws from) have their means scaled by
+// a per-entry factor in [1-drift, 1+drift], while the *profiled* PMFs (what
+// the scheduler believes) stay untouched. This models PET staleness: the
+// world moved, the profile did not. The rng must be deterministic for
+// reproducible experiments.
+func (m *Matrix) Perturbed(drift float64, rng interface{ UniformRange(lo, hi float64) float64 }) *Matrix {
+	if drift < 0 {
+		panic(fmt.Sprintf("pet: negative drift %v", drift))
+	}
+	out := &Matrix{entries: make([][]Entry, len(m.entries))}
+	for ti := range m.entries {
+		out.entries[ti] = make([]Entry, len(m.entries[ti]))
+		for mi, e := range m.entries[ti] {
+			factor := rng.UniformRange(1-drift, 1+drift)
+			if factor < 0.05 {
+				factor = 0.05
+			}
+			out.entries[ti][mi] = Entry{
+				PMF:   e.PMF, // scheduler's (stale) belief
+				Prof:  e.Prof,
+				Mean:  e.Mean * factor, // the world's new truth
+				Shape: e.Shape,
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package pmf
+
+import "fmt"
+
+// DropMode selects which of the paper's three completion-time scenarios
+// governs a convolution (Section IV):
+//
+//	NoDrop      (A) every mapped task runs to completion (Eq. 2).
+//	PendingDrop (B) a pending task is dropped if its predecessor finishes
+//	            at or after the task's deadline (Eqs. 3–4).
+//	Evict       (C) additionally, an executing task is killed the moment
+//	            its deadline passes (Eq. 5).
+type DropMode int
+
+const (
+	NoDrop DropMode = iota
+	PendingDrop
+	Evict
+)
+
+// String implements fmt.Stringer.
+func (m DropMode) String() string {
+	switch m {
+	case NoDrop:
+		return "nodrop"
+	case PendingDrop:
+		return "pending"
+	case Evict:
+		return "evict"
+	default:
+		return fmt.Sprintf("DropMode(%d)", int(m))
+	}
+}
+
+// Convolve returns the plain convolution of two PMFs (Eq. 2): the
+// distribution of the sum of the two independent random variables. This is
+// the completion time of a task whose execution time is exec and whose
+// start time is distributed as prev, when no dropping can occur.
+func Convolve(prev, exec *PMF) *PMF {
+	if prev.IsZero() || exec.IsZero() {
+		return &PMF{}
+	}
+	out := make([]float64, len(prev.probs)+len(exec.probs)-1)
+	for i, a := range prev.probs {
+		if a == 0 {
+			continue
+		}
+		for j, b := range exec.probs {
+			out[i+j] += a * b
+		}
+	}
+	return New(prev.start+exec.start, out)
+}
+
+// Result carries the outcome of a dropping-aware convolution. Free is the
+// distribution of the time at which the machine becomes free of the task
+// (by completion, by eviction at the deadline, or — when the task never
+// starts — the predecessor's completion carried through). Success is the
+// probability that the task itself completes at or before its deadline
+// (Eq. 1 applied to execution mass only): under PendingDrop/Evict the Free
+// PMF mixes carried and evicted mass with true completions, so the success
+// probability cannot be recovered from Free alone and is computed during
+// the convolution.
+type Result struct {
+	Free    *PMF
+	Success float64
+}
+
+// ConvolveDrop convolves the predecessor's machine-free-time PMF (prev)
+// with a task's execution-time PMF (exec) under the given dropping mode and
+// the task's deadline.
+//
+// Semantics per mode:
+//
+//   - NoDrop: Free = prev * exec; Success = CDF(Free, deadline).
+//
+//   - PendingDrop (Eqs. 3–4): execution only begins for the part of prev
+//     strictly before the deadline ("helper" Eq. 3 discards impulses of
+//     PCT(i-1) at or after δi). Mass of prev at t >= deadline is carried
+//     into Free unchanged — the task is dropped before starting and the
+//     machine frees up when the predecessor finishes.
+//
+//   - Evict (Eq. 5): as PendingDrop, but execution mass that would land
+//     strictly after the deadline collapses onto an impulse at the deadline:
+//     the task is killed at δi and the machine is free at δi. Completion
+//     exactly at the deadline still counts as success (Eq. 1 uses t <= δi).
+func ConvolveDrop(prev, exec *PMF, deadline int64, mode DropMode) Result {
+	if mode == NoDrop {
+		free := Convolve(prev, exec)
+		return Result{Free: free, Success: free.SuccessProb(deadline)}
+	}
+	if prev.IsZero() || exec.IsZero() {
+		return Result{Free: &PMF{}}
+	}
+
+	// The output support spans execution completions (start+exec for
+	// starts strictly before the deadline) plus carried predecessor mass
+	// (prev ticks at or after the deadline). One dense buffer covers both.
+	outLo := prev.start + exec.start
+	outHi := prev.End() + exec.End()
+	if prev.End() > outHi {
+		outHi = prev.End()
+	}
+	if deadline > outHi {
+		outHi = deadline
+	}
+	if prev.start < outLo {
+		outLo = prev.start
+	}
+	if deadline < outLo {
+		// A deadline before any possible completion: no execution mass can
+		// land on time, but Evict still needs the deadline slot to exist.
+		outLo = deadline
+	}
+	buf := make([]float64, outHi-outLo+1)
+
+	// Execution part (Eq. 3's helper f): convolve only predecessor
+	// completions strictly before the deadline.
+	for i, a := range prev.probs {
+		if a == 0 {
+			continue
+		}
+		st := prev.start + int64(i) // predecessor finishes / task would start
+		if st >= deadline {
+			continue // the task is dropped before starting
+		}
+		base := st + exec.start - outLo
+		for j, b := range exec.probs {
+			if b != 0 {
+				buf[base+int64(j)] += a * b
+			}
+		}
+	}
+
+	// Success (Eq. 1): execution mass landing at or before the deadline.
+	var success float64
+	dlIdx := deadline - outLo
+	limit := dlIdx
+	if limit >= int64(len(buf)) {
+		limit = int64(len(buf)) - 1
+	}
+	for k := int64(0); k <= limit; k++ {
+		success += buf[k]
+	}
+	if success > 1 {
+		success = 1 // floating-point accumulation guard
+	}
+
+	if mode == Evict {
+		// Eq. 5: execution mass strictly after the deadline collapses onto
+		// an impulse at the deadline — the task is killed at δi and the
+		// machine freed.
+		var late float64
+		for k := dlIdx + 1; k < int64(len(buf)); k++ {
+			late += buf[k]
+			buf[k] = 0
+		}
+		buf[dlIdx] += late
+	} else if mode != PendingDrop {
+		panic(fmt.Sprintf("pmf: unknown drop mode %v", mode))
+	}
+
+	// Carried predecessor mass (Eq. 4's c_pend(i-1)(t) term): the task
+	// never starts; the machine frees up when the predecessor finishes.
+	for i, a := range prev.probs {
+		if a == 0 {
+			continue
+		}
+		st := prev.start + int64(i)
+		if st >= deadline {
+			buf[st-outLo] += a
+		}
+	}
+
+	return Result{Free: wrap(outLo, buf), Success: success}
+}
+
+// ChainCompletion computes the completion Result for a whole FCFS queue:
+// base is the machine-availability PMF ahead of the queue; entries are
+// (exec PMF, deadline) pairs in queue order. It returns the per-entry
+// results, where entry k's Free feeds entry k+1. This mirrors how the
+// mapper evaluates the robustness of each task in a (virtual) machine
+// queue.
+func ChainCompletion(base *PMF, execs []*PMF, deadlines []int64, mode DropMode) []Result {
+	if len(execs) != len(deadlines) {
+		panic("pmf: ChainCompletion length mismatch")
+	}
+	out := make([]Result, len(execs))
+	prev := base
+	for i := range execs {
+		out[i] = ConvolveDrop(prev, execs[i], deadlines[i], mode)
+		prev = out[i].Free
+	}
+	return out
+}

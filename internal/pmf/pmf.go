@@ -1,0 +1,424 @@
+// Package pmf implements the discrete probability-mass-function algebra at
+// the heart of the paper: Probabilistic Execution Time (PET) entries and
+// Probabilistic Completion Time (PCT) distributions are PMFs over integer
+// time ticks, combined by convolution — including the paper's Eqs. 2–5
+// closed forms for convolution in the presence of task dropping.
+//
+// A PMF is stored densely: a start tick plus a contiguous slice of
+// probabilities. All operations preserve total mass up to floating-point
+// rounding; invariants are exercised by property-based tests.
+package pmf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"taskprune/internal/stats"
+)
+
+// PMF is a probability mass function over integer time ticks.
+// The zero value is an empty PMF with no mass.
+type PMF struct {
+	start int64
+	probs []float64
+}
+
+// New builds a PMF whose first impulse sits at start. The probs slice is
+// copied; leading and trailing zeros are trimmed. Negative probabilities
+// panic: they can only arise from a programming error.
+func New(start int64, probs []float64) *PMF {
+	lo := 0
+	for lo < len(probs) && probs[lo] == 0 {
+		lo++
+	}
+	hi := len(probs)
+	for hi > lo && probs[hi-1] == 0 {
+		hi--
+	}
+	p := &PMF{start: start + int64(lo), probs: make([]float64, hi-lo)}
+	copy(p.probs, probs[lo:hi])
+	for _, v := range p.probs {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("pmf: invalid probability %v", v))
+		}
+	}
+	return p
+}
+
+// wrap adopts probs without copying (callers hand over ownership),
+// trimming zero edges in place. It skips the validation New performs and
+// exists for hot paths that construct mass buffers themselves.
+func wrap(start int64, probs []float64) *PMF {
+	lo := 0
+	for lo < len(probs) && probs[lo] == 0 {
+		lo++
+	}
+	hi := len(probs)
+	for hi > lo && probs[hi-1] == 0 {
+		hi--
+	}
+	return &PMF{start: start + int64(lo), probs: probs[lo:hi]}
+}
+
+// Impulse returns a PMF with all mass concentrated at tick t.
+func Impulse(t int64) *PMF {
+	return &PMF{start: t, probs: []float64{1}}
+}
+
+// FromSamples bins real-valued samples into nbins histogram bins and
+// converts the result into a PMF whose impulses sit at the rounded bin
+// centers (minimum tick 1: an execution can never take zero time). This is
+// the paper's offline PET-profiling step.
+func FromSamples(samples []float64, nbins int) *PMF {
+	h := stats.HistogramFromSamples(samples, nbins)
+	return FromHistogram(h)
+}
+
+// FromHistogram converts a histogram into a PMF at rounded bin centers,
+// merging bins that round to the same tick and clamping ticks below 1 up
+// to 1.
+func FromHistogram(h *stats.Histogram) *PMF {
+	mass := map[int64]float64{}
+	var lo, hi int64 = math.MaxInt64, math.MinInt64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		t := int64(math.Round(h.BinCenter(i)))
+		if t < 1 {
+			t = 1
+		}
+		mass[t] += c
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if len(mass) == 0 {
+		return &PMF{}
+	}
+	probs := make([]float64, hi-lo+1)
+	for t, c := range mass {
+		probs[t-lo] = c
+	}
+	p := New(lo, probs)
+	p.Normalize()
+	return p
+}
+
+// IsZero reports whether the PMF carries no mass.
+func (p *PMF) IsZero() bool { return p == nil || len(p.probs) == 0 }
+
+// Start returns the tick of the first (possibly zero-probability) impulse.
+func (p *PMF) Start() int64 { return p.start }
+
+// End returns the tick of the last impulse. For an empty PMF, End < Start.
+func (p *PMF) End() int64 { return p.start + int64(len(p.probs)) - 1 }
+
+// Len returns the number of stored impulse slots (dense width including
+// interior zeros).
+func (p *PMF) Len() int { return len(p.probs) }
+
+// NumImpulses returns the number of non-zero impulses. Convolution cost is
+// governed by this count, which is what Compact bounds.
+func (p *PMF) NumImpulses() int {
+	n := 0
+	for _, v := range p.probs {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// At returns the probability mass at tick t.
+func (p *PMF) At(t int64) float64 {
+	if p.IsZero() || t < p.start || t > p.End() {
+		return 0
+	}
+	return p.probs[t-p.start]
+}
+
+// Mass returns the total probability mass (1.0 for a normalized PMF).
+func (p *PMF) Mass() float64 {
+	var s float64
+	for _, v := range p.probs {
+		s += v
+	}
+	return s
+}
+
+// Normalize scales the PMF in place so its mass is exactly 1. It is a
+// no-op for an empty or zero-mass PMF.
+func (p *PMF) Normalize() {
+	m := p.Mass()
+	if m == 0 || m == 1 {
+		return
+	}
+	for i := range p.probs {
+		p.probs[i] /= m
+	}
+}
+
+// Clone returns an independent deep copy.
+func (p *PMF) Clone() *PMF {
+	if p.IsZero() {
+		return &PMF{}
+	}
+	q := &PMF{start: p.start, probs: make([]float64, len(p.probs))}
+	copy(q.probs, p.probs)
+	return q
+}
+
+// Shift returns a copy of p translated by dt ticks. Shifting a PET by a
+// task's start time yields its PCT on an idle machine.
+func (p *PMF) Shift(dt int64) *PMF {
+	q := p.Clone()
+	q.start += dt
+	return q
+}
+
+// CDF returns P(T <= t).
+func (p *PMF) CDF(t int64) float64 {
+	if p.IsZero() || t < p.start {
+		return 0
+	}
+	end := t - p.start
+	if end >= int64(len(p.probs)) {
+		end = int64(len(p.probs)) - 1
+	}
+	var s float64
+	for i := int64(0); i <= end; i++ {
+		s += p.probs[i]
+	}
+	return s
+}
+
+// SuccessProb is the paper's Eq. 1: the probability that a completion-time
+// PMF lands at or before the deadline. It is a synonym for CDF and exists
+// to keep call sites legible.
+func (p *PMF) SuccessProb(deadline int64) float64 { return p.CDF(deadline) }
+
+// Mean returns the expected tick, 0 for an empty PMF.
+func (p *PMF) Mean() float64 {
+	m := p.Mass()
+	if m == 0 {
+		return 0
+	}
+	var s float64
+	for i, v := range p.probs {
+		s += v * float64(p.start+int64(i))
+	}
+	return s / m
+}
+
+// Variance returns the distribution variance.
+func (p *PMF) Variance() float64 {
+	m := p.Mass()
+	if m == 0 {
+		return 0
+	}
+	mu := p.Mean()
+	var s float64
+	for i, v := range p.probs {
+		d := float64(p.start+int64(i)) - mu
+		s += v * d * d
+	}
+	return s / m
+}
+
+// Skewness returns the (population) skewness of the distribution; 0 when
+// undefined. The pruner consumes the bounded version via BoundedSkewness.
+func (p *PMF) Skewness() float64 {
+	if p.IsZero() {
+		return 0
+	}
+	xs := make([]float64, len(p.probs))
+	for i := range p.probs {
+		xs[i] = float64(p.start + int64(i))
+	}
+	_, _, sk := stats.WeightedMoments(xs, p.probs)
+	return sk
+}
+
+// BoundedSkewness returns Skewness clamped into [-1, 1], the paper's
+// bounded skewness s used by the Eq. 7 per-task dropping threshold.
+func (p *PMF) BoundedSkewness() float64 { return stats.BoundSkewness(p.Skewness()) }
+
+// Quantile returns the smallest tick t with CDF(t) >= q, for q in (0, 1].
+// For an empty PMF it returns 0.
+func (p *PMF) Quantile(q float64) int64 {
+	if p.IsZero() {
+		return 0
+	}
+	var acc float64
+	for i, v := range p.probs {
+		acc += v
+		if acc >= q {
+			return p.start + int64(i)
+		}
+	}
+	return p.End()
+}
+
+// ConditionAtLeast returns the distribution of T given T >= t, renormalized.
+// The simulator uses it for the remaining completion time of a task that
+// has already been executing for some elapsed time. If no mass lies at or
+// beyond t, the entire mass collapses onto an impulse at t (the task is
+// "overdue" relative to its profile and is modeled as finishing now).
+func (p *PMF) ConditionAtLeast(t int64) *PMF {
+	if p.IsZero() {
+		return &PMF{}
+	}
+	if t <= p.start {
+		return p.Clone()
+	}
+	if t > p.End() {
+		return Impulse(t)
+	}
+	probs := make([]float64, p.End()-t+1)
+	copy(probs, p.probs[t-p.start:])
+	q := New(t, probs)
+	if q.Mass() == 0 {
+		return Impulse(t)
+	}
+	q.Normalize()
+	return q
+}
+
+// RemainingAfter returns the distribution of X - c given X > c, where p is
+// the distribution of a duration X: the remaining execution time of a task
+// that has already consumed c ticks. The preemption extension uses it to
+// chain completion times of partially executed tasks. If no mass lies
+// beyond c (the task has outrun its profile), the remainder collapses to a
+// single tick.
+func (p *PMF) RemainingAfter(c int64) *PMF {
+	if c <= 0 {
+		return p.Clone()
+	}
+	cond := p.ConditionAtLeast(c + 1)
+	if cond.IsZero() {
+		return Impulse(1)
+	}
+	return cond.Shift(-c)
+}
+
+// TruncateAfter removes all mass strictly after tick t and returns the
+// removed mass. The PMF is not renormalized.
+func (p *PMF) TruncateAfter(t int64) float64 {
+	if p.IsZero() || t >= p.End() {
+		return 0
+	}
+	if t < p.start {
+		var m float64
+		for _, v := range p.probs {
+			m += v
+		}
+		p.probs = nil
+		return m
+	}
+	var removed float64
+	cut := t - p.start + 1
+	for _, v := range p.probs[cut:] {
+		removed += v
+	}
+	p.probs = p.probs[:cut]
+	return removed
+}
+
+// AddMass adds mass w at tick t, growing the support as needed.
+func (p *PMF) AddMass(t int64, w float64) {
+	if w == 0 {
+		return
+	}
+	if w < 0 {
+		panic("pmf: AddMass with negative mass")
+	}
+	if len(p.probs) == 0 {
+		p.start = t
+		p.probs = []float64{w}
+		return
+	}
+	switch {
+	case t < p.start:
+		grown := make([]float64, p.End()-t+1)
+		copy(grown[p.start-t:], p.probs)
+		p.probs = grown
+		p.start = t
+		p.probs[0] += w
+	case t > p.End():
+		grown := make([]float64, t-p.start+1)
+		copy(grown, p.probs)
+		p.probs = grown
+		p.probs[t-p.start] += w
+	default:
+		p.probs[t-p.start] += w
+	}
+}
+
+// String renders the PMF compactly for debugging: "{t:p t:p ...}".
+func (p *PMF) String() string {
+	if p.IsZero() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, v := range p.probs {
+		if v == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:%.4g", p.start+int64(i), v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Impulses returns parallel slices of ticks and probabilities for all
+// non-zero impulses, in increasing tick order.
+func (p *PMF) Impulses() (ticks []int64, probs []float64) {
+	for i, v := range p.probs {
+		if v == 0 {
+			continue
+		}
+		ticks = append(ticks, p.start+int64(i))
+		probs = append(probs, v)
+	}
+	return ticks, probs
+}
+
+// ApproxEqual reports whether two PMFs agree impulse-by-impulse within tol.
+func ApproxEqual(a, b *PMF, tol float64) bool {
+	lo := minI64(a.start, b.start)
+	hi := maxI64(a.End(), b.End())
+	if a.IsZero() && b.IsZero() {
+		return true
+	}
+	for t := lo; t <= hi; t++ {
+		if math.Abs(a.At(t)-b.At(t)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package pmf
+
+// Profile augments an execution-time PMF with precomputed prefix sums so
+// that the two quantities mapping heuristics evaluate millions of times —
+// a task's success probability and its expected machine-free time against
+// a candidate queue tail — cost O(|tail|) instead of a full O(|tail|·|exec|)
+// convolution. Full convolutions are then only needed when an assignment is
+// actually committed (to update the tail) or when a queue chain is walked.
+type Profile struct {
+	p    *PMF
+	cdf  []float64 // cdf[i]  = P(X <= start+i)
+	pex  []float64 // pex[i]  = E[X · 1(X <= start+i)]
+	mean float64
+}
+
+// NewProfile precomputes prefix statistics for p. The PMF is retained by
+// reference and must not be mutated afterwards.
+func NewProfile(p *PMF) *Profile {
+	pr := &Profile{p: p}
+	pr.cdf = make([]float64, len(p.probs))
+	pr.pex = make([]float64, len(p.probs))
+	var c, e float64
+	for i, v := range p.probs {
+		x := float64(p.start + int64(i))
+		c += v
+		e += v * x
+		pr.cdf[i] = c
+		pr.pex[i] = e
+	}
+	pr.mean = p.Mean()
+	return pr
+}
+
+// PMF returns the underlying distribution.
+func (pr *Profile) PMF() *PMF { return pr.p }
+
+// Mean returns E[X].
+func (pr *Profile) Mean() float64 { return pr.mean }
+
+// CDF returns P(X <= t).
+func (pr *Profile) CDF(t int64) float64 {
+	if len(pr.cdf) == 0 || t < pr.p.start {
+		return 0
+	}
+	i := t - pr.p.start
+	if i >= int64(len(pr.cdf)) {
+		i = int64(len(pr.cdf)) - 1
+	}
+	return pr.cdf[i]
+}
+
+// PartialMean returns E[X · 1(X <= t)].
+func (pr *Profile) PartialMean(t int64) float64 {
+	if len(pr.pex) == 0 || t < pr.p.start {
+		return 0
+	}
+	i := t - pr.p.start
+	if i >= int64(len(pr.pex)) {
+		i = int64(len(pr.pex)) - 1
+	}
+	return pr.pex[i]
+}
+
+// MeanCappedAt returns E[min(X, d)] = E[X·1(X<=d)] + d·P(X>d).
+func (pr *Profile) MeanCappedAt(d int64) float64 {
+	return pr.PartialMean(d) + float64(d)*(1-pr.CDF(d))
+}
+
+// DropSuccess computes the success probability of a task with the given
+// deadline whose execution profile is exec and whose start time is
+// distributed as prev — without materializing the convolution:
+//
+//	P(success) = Σ_{s < δ} prev(s) · P(exec <= δ − s)
+//
+// The formula is identical under all three dropping scenarios: starts at or
+// after the deadline contribute nothing either way (under NoDrop their
+// completion necessarily lands after δ because executions take at least one
+// tick — a precondition PET profiles guarantee; under PendingDrop/Evict the
+// task is dropped before starting). It matches ConvolveDrop's Success field
+// exactly, which the property tests assert.
+func DropSuccess(prev *PMF, exec *Profile, deadline int64) float64 {
+	if prev.IsZero() {
+		return 0
+	}
+	var s float64
+	for i, a := range prev.probs {
+		if a == 0 {
+			continue
+		}
+		st := prev.start + int64(i)
+		if st >= deadline {
+			break // prev ticks are increasing; nothing later can start
+		}
+		s += a * exec.CDF(deadline-st)
+	}
+	if s > 1 {
+		s = 1 // floating-point accumulation guard
+	}
+	return s
+}
+
+// DropExpectedFree computes the mean of ConvolveDrop(prev, exec, δ, mode)'s
+// Free PMF in O(|prev|):
+//
+//	PendingDrop: Σ_{s<δ} prev(s)·(s + E[exec])        + Σ_{s>=δ} prev(s)·s
+//	Evict:       Σ_{s<δ} prev(s)·(s + E[min(exec,δ−s)]) + Σ_{s>=δ} prev(s)·s
+//	NoDrop:      E[prev] + E[exec]
+func DropExpectedFree(prev *PMF, exec *Profile, deadline int64, mode DropMode) float64 {
+	if prev.IsZero() {
+		return 0
+	}
+	if mode == NoDrop {
+		return prev.Mean() + exec.Mean()
+	}
+	var e, mass float64
+	for i, a := range prev.probs {
+		if a == 0 {
+			continue
+		}
+		st := prev.start + int64(i)
+		mass += a
+		switch {
+		case st >= deadline:
+			e += a * float64(st)
+		case mode == Evict:
+			e += a * (float64(st) + exec.MeanCappedAt(deadline-st))
+		default: // PendingDrop
+			e += a * (float64(st) + exec.Mean())
+		}
+	}
+	if mass == 0 {
+		return 0
+	}
+	return e / mass
+}

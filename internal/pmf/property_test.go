@@ -1,0 +1,287 @@
+package pmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPMF builds a normalized PMF with 1..maxLen impulses from quick's
+// rand source.
+func randomPMF(r *rand.Rand, maxLen int) *PMF {
+	return randomPMFFrom(r, maxLen, 0)
+}
+
+// randomExecPMF builds a normalized PMF starting at tick >= 1, matching the
+// PET invariant that executions take at least one tick (FromHistogram
+// clamps). DropSuccess/DropExpectedFree rely on that invariant.
+func randomExecPMF(r *rand.Rand, maxLen int) *PMF {
+	return randomPMFFrom(r, maxLen, 1)
+}
+
+func randomPMFFrom(r *rand.Rand, maxLen int, minStart int64) *PMF {
+	n := 1 + r.Intn(maxLen)
+	probs := make([]float64, n)
+	var total float64
+	for i := range probs {
+		probs[i] = r.Float64()
+		total += probs[i]
+	}
+	if total == 0 {
+		probs[0] = 1
+		total = 1
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return New(minStart+int64(r.Intn(50)), probs)
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// Property: convolution preserves total mass.
+func TestPropConvolveMass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomPMF(r, 24)
+		b := randomPMF(r, 24)
+		c := Convolve(a, b)
+		return math.Abs(c.Mass()-a.Mass()*b.Mass()) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convolution adds means (E[X+Y] = E[X] + E[Y]).
+func TestPropConvolveMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomPMF(r, 24)
+		b := randomPMF(r, 24)
+		c := Convolve(a, b)
+		return math.Abs(c.Mean()-(a.Mean()+b.Mean())) < 1e-6
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convolution adds variances for independent variables.
+func TestPropConvolveVariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomPMF(r, 24)
+		b := randomPMF(r, 24)
+		c := Convolve(a, b)
+		return math.Abs(c.Variance()-(a.Variance()+b.Variance())) < 1e-6
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convolution is commutative.
+func TestPropConvolveCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomPMF(r, 16)
+		b := randomPMF(r, 16)
+		return ApproxEqual(Convolve(a, b), Convolve(b, a), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dropping-aware convolution conserves mass in every mode and
+// keeps success within [0, CDF-bound].
+func TestPropConvolveDropMass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prev := randomPMF(r, 24)
+		exec := randomPMF(r, 16)
+		deadline := prev.Start() + int64(r.Intn(40))
+		for _, mode := range []DropMode{NoDrop, PendingDrop, Evict} {
+			res := ConvolveDrop(prev, exec, deadline, mode)
+			if math.Abs(res.Free.Mass()-1) > 1e-9 {
+				return false
+			}
+			if res.Success < -1e-12 || res.Success > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DropSuccess (the O(|prev|) fast path) agrees exactly with the
+// Success field of the full convolution, in every mode.
+func TestPropDropSuccessMatchesConvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prev := randomPMF(r, 24)
+		exec := randomExecPMF(r, 16)
+		prof := NewProfile(exec)
+		deadline := prev.Start() + int64(r.Intn(40))
+		fast := DropSuccess(prev, prof, deadline)
+		for _, mode := range []DropMode{NoDrop, PendingDrop, Evict} {
+			res := ConvolveDrop(prev, exec, deadline, mode)
+			if math.Abs(res.Success-fast) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DropExpectedFree agrees with the mean of the fully convolved
+// Free PMF in every mode.
+func TestPropDropExpectedFreeMatchesConvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prev := randomPMF(r, 24)
+		exec := randomExecPMF(r, 16)
+		prof := NewProfile(exec)
+		deadline := prev.Start() + int64(r.Intn(40))
+		for _, mode := range []DropMode{NoDrop, PendingDrop, Evict} {
+			res := ConvolveDrop(prev, exec, deadline, mode)
+			fast := DropExpectedFree(prev, prof, deadline, mode)
+			if math.Abs(res.Free.Mean()-fast) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: success probability is monotone in the deadline.
+func TestPropSuccessMonotoneInDeadline(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prev := randomPMF(r, 24)
+		exec := randomExecPMF(r, 16)
+		prof := NewProfile(exec)
+		last := -1.0
+		for d := prev.Start() - 2; d < prev.End()+20; d++ {
+			s := DropSuccess(prev, prof, d)
+			if s < last-1e-12 {
+				return false
+			}
+			last = s
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compact preserves mass exactly and never widens support.
+func TestPropCompact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPMF(r, 200)
+		bound := 1 + r.Intn(64)
+		c := Compact(p, bound)
+		if c.NumImpulses() > bound {
+			return false
+		}
+		if math.Abs(c.Mass()-p.Mass()) > 1e-9 {
+			return false
+		}
+		return c.Start() >= p.Start() && c.End() <= p.End()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ConditionAtLeast yields a normalized PMF supported at or after
+// the conditioning point, and conditioning at the support start is the
+// identity.
+func TestPropConditionAtLeast(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPMF(r, 24)
+		at := p.Start() + int64(r.Intn(30))
+		q := p.ConditionAtLeast(at)
+		if math.Abs(q.Mass()-1) > 1e-9 {
+			return false
+		}
+		return q.Start() >= at
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is monotone non-decreasing and reaches total mass.
+func TestPropCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPMF(r, 32)
+		prev := 0.0
+		for tk := p.Start() - 1; tk <= p.End()+1; tk++ {
+			c := p.CDF(tk)
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(prev-p.Mass()) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TruncateAfter + removed mass = original mass.
+func TestPropTruncateConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPMF(r, 32)
+		orig := p.Mass()
+		cut := p.Start() + int64(r.Intn(40)) - 2
+		removed := p.TruncateAfter(cut)
+		return math.Abs(p.Mass()+removed-orig) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Profile prefix sums match direct computation.
+func TestPropProfileConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPMF(r, 32)
+		prof := NewProfile(p)
+		for tk := p.Start() - 1; tk <= p.End()+2; tk++ {
+			if math.Abs(prof.CDF(tk)-p.CDF(tk)) > 1e-9 {
+				return false
+			}
+			var pm float64
+			for u := p.Start(); u <= tk && u <= p.End(); u++ {
+				pm += p.At(u) * float64(u)
+			}
+			if math.Abs(prof.PartialMean(tk)-pm) > 1e-6 {
+				return false
+			}
+		}
+		return math.Abs(prof.Mean()-p.Mean()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+package pruner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	cfg := DefaultConfig()
+	if cfg.DropThreshold != 0.50 || cfg.DeferThreshold != 0.90 {
+		t.Errorf("defaults differ from the paper's converged values: %+v", cfg)
+	}
+	if cfg.Lambda != 0.9 || !cfg.UseSchmitt || cfg.SchmittSeparation != 0.20 {
+		t.Errorf("oversubscription defaults differ from the paper: %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{DropThreshold: -0.1},
+		{DropThreshold: 1.1},
+		{DeferThreshold: 2},
+		{Lambda: -1},
+		{Lambda: 2},
+		{SchmittSeparation: 1.0},
+		{ToggleOn: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{DropThreshold: 5})
+}
+
+func TestEWMAEquation8(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lambda = 0.25
+	cfg.UseSchmitt = false
+	cfg.ToggleOn = 100 // never engage; we only check the level math
+	p := New(cfg)
+	p.ObserveMappingEvent(4) // d = 4*0.25 + 0*0.75 = 1
+	if got := p.Level(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("level = %v, want 1", got)
+	}
+	p.ObserveMappingEvent(0) // d = 0*0.25 + 1*0.75 = 0.75
+	if got := p.Level(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("level = %v, want 0.75", got)
+	}
+	p.ObserveMappingEvent(8) // d = 8*0.25 + 0.75*0.75 = 2.5625
+	if got := p.Level(); math.Abs(got-2.5625) > 1e-12 {
+		t.Fatalf("level = %v, want 2.5625", got)
+	}
+	if p.Events() != 3 {
+		t.Errorf("Events = %d, want 3", p.Events())
+	}
+}
+
+func TestSingleThresholdToggle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lambda = 1 // level == last observation
+	cfg.UseSchmitt = false
+	cfg.ToggleOn = 1
+	p := New(cfg)
+	if p.ObserveMappingEvent(0) {
+		t.Error("engaged with zero misses")
+	}
+	if !p.ObserveMappingEvent(1) {
+		t.Error("did not engage at the toggle")
+	}
+	if p.ObserveMappingEvent(0) {
+		t.Error("single-threshold mode must disengage immediately below toggle")
+	}
+}
+
+// TestSchmittHysteresis reproduces the paper's example: "if oversubscription
+// level two or higher signals starting dropping, oversubscription value 1.6
+// or lower signals stopping it" (20% separation).
+func TestSchmittHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lambda = 1 // level == last observation, simplifies the script
+	cfg.UseSchmitt = true
+	cfg.ToggleOn = 2
+	cfg.SchmittSeparation = 0.20
+	p := New(cfg)
+
+	if p.ObserveMappingEvent(1) {
+		t.Fatal("engaged below the on threshold")
+	}
+	if !p.ObserveMappingEvent(2) {
+		t.Fatal("did not engage at level 2")
+	}
+	// Level 1.8 sits inside the hysteresis band: state must hold.
+	if !p.ObserveMappingEvent(2) || !p.Dropping() {
+		t.Fatal("lost state at level 2")
+	}
+	cfg2 := cfg // replay with fractional observations via lambda
+	_ = cfg2
+	// Drive level into the band (1.8): still dropping.
+	pBand := New(cfg)
+	pBand.ObserveMappingEvent(2) // engage at 2
+	// with λ=1 we can't hit 1.8 exactly using ints... use λ=0.5:
+	cfg3 := DefaultConfig()
+	cfg3.Lambda = 0.5
+	cfg3.UseSchmitt = true
+	cfg3.ToggleOn = 2
+	cfg3.SchmittSeparation = 0.20
+	q := New(cfg3)
+	q.ObserveMappingEvent(4) // level 2 -> on
+	if !q.Dropping() {
+		t.Fatal("did not engage at level 2")
+	}
+	q.ObserveMappingEvent(2) // level = 2*0.5 + 2*0.5 = 2 -> on
+	q.ObserveMappingEvent(1) // level = 0.5 + 1 = 1.5 <= 1.6 -> off
+	if q.Dropping() {
+		t.Fatalf("did not disengage at level %v <= 1.6", q.Level())
+	}
+	// And re-engage requires reaching 2 again, not just 1.61.
+	q.ObserveMappingEvent(2) // level = 1 + 0.75 = 1.75: inside band, stays off
+	if q.Dropping() {
+		t.Fatal("re-engaged inside the hysteresis band")
+	}
+}
+
+func TestDropThresholdForEq7(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropThreshold = 0.5
+	cfg.Rho = 0.2
+	cfg.PerTaskAdjust = true
+	p := New(cfg)
+
+	// Neutral skew, any position: base threshold.
+	if got := p.DropThresholdFor(0, 0, 0); got != 0.5 {
+		t.Errorf("neutral threshold = %v, want 0.5", got)
+	}
+	// Negative skew at the queue head: threshold rises (drop more readily).
+	head := p.DropThresholdFor(-1, 0, 0)
+	if !(head > 0.5) {
+		t.Errorf("negative-skew head threshold = %v, want > 0.5", head)
+	}
+	if math.Abs(head-0.7) > 1e-12 { // 0.5 + 0.2*1/(0+1)
+		t.Errorf("head threshold = %v, want 0.7", head)
+	}
+	// Positive skew: threshold falls (task protected).
+	if got := p.DropThresholdFor(1, 0, 0); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("positive-skew head threshold = %v, want 0.3", got)
+	}
+	// Effect decays with queue position.
+	deep := p.DropThresholdFor(-1, 4, 0)
+	if !(deep < head && deep > 0.5) {
+		t.Errorf("deep-queue threshold = %v, want in (0.5, %v)", deep, head)
+	}
+	// Sufferage relaxes the threshold.
+	if got := p.DropThresholdFor(0, 0, 0.2); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("suffered threshold = %v, want 0.3", got)
+	}
+	// Clamped to [0, 1].
+	if got := p.DropThresholdFor(-1, 0, -5); got != 1 {
+		t.Errorf("threshold = %v, want clamp at 1", got)
+	}
+	if got := p.DropThresholdFor(1, 0, 1); got != 0 {
+		t.Errorf("threshold = %v, want clamp at 0", got)
+	}
+}
+
+func TestPerTaskAdjustDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PerTaskAdjust = false
+	p := New(cfg)
+	if got := p.DropThresholdFor(-1, 0, 0); got != cfg.DropThreshold {
+		t.Errorf("uniform threshold = %v, want %v", got, cfg.DropThreshold)
+	}
+}
+
+func TestShouldDropRequiresEngagement(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.ShouldDrop(0.01, 0, 0, 0) {
+		t.Error("dropped while dropping mode disengaged")
+	}
+	// Engage via massive misses.
+	p.ObserveMappingEvent(100)
+	if !p.Dropping() {
+		t.Fatal("did not engage")
+	}
+	if !p.ShouldDrop(0.50, 0, 0, 0) {
+		t.Error("robustness == threshold must drop (paper: 'less than or equal')")
+	}
+	if p.ShouldDrop(0.51, 0, 0, 0) {
+		t.Error("robustness above threshold dropped")
+	}
+}
+
+func TestShouldDefer(t *testing.T) {
+	p := New(DefaultConfig())
+	if !p.ShouldDefer(0.89, 0) {
+		t.Error("robustness below defer threshold not deferred")
+	}
+	if p.ShouldDefer(0.90, 0) {
+		t.Error("robustness at defer threshold deferred (defer is strict)")
+	}
+	// Sufferage relaxes deferring.
+	if p.ShouldDefer(0.80, 0.15) {
+		t.Error("suffered type deferred despite relaxed threshold")
+	}
+}
+
+func TestDeferThresholdClamp(t *testing.T) {
+	p := New(DefaultConfig())
+	if got := p.DeferThresholdFor(2); got != 0 {
+		t.Errorf("DeferThresholdFor(2) = %v, want 0", got)
+	}
+}
+
+// Property: thresholds are always in [0, 1] regardless of inputs.
+func TestPropThresholdBounds(t *testing.T) {
+	p := New(DefaultConfig())
+	f := func(skew float64, pos int, suff float64) bool {
+		if pos < 0 {
+			pos = -pos
+		}
+		s := math.Mod(skew, 1)
+		th := p.DropThresholdFor(s, pos%6, math.Mod(suff, 1))
+		return th >= 0 && th <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the EWMA level stays within [0, max observation] for
+// non-negative miss counts.
+func TestPropLevelBounded(t *testing.T) {
+	f := func(misses []uint8) bool {
+		p := New(DefaultConfig())
+		maxM := 0.0
+		for _, m := range misses {
+			p.ObserveMappingEvent(int(m))
+			if float64(m) > maxM {
+				maxM = float64(m)
+			}
+			if p.Level() < 0 || p.Level() > maxM+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

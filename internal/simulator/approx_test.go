@@ -1,0 +1,100 @@
+package simulator
+
+import (
+	"testing"
+
+	"taskprune/internal/stats"
+	"taskprune/internal/task"
+	"taskprune/internal/workload"
+)
+
+// TestApproxCompletionOnEviction: an evicted task that received enough of
+// its execution exits as an approximate completion; one that did not exits
+// as dropped.
+func TestApproxCompletionOnEviction(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "PAM", matrix)
+	cfg.ApproxFraction = 0.5
+	// Disable deferring/dropping so the marginal tasks actually get mapped;
+	// eviction-at-deadline (the mechanism under test) stays on.
+	cfg.Pruner = nil
+
+	// Task needs 20 ticks, deadline allows ~12 of them after a start at 0:
+	// received 12/20 = 60% >= 50% -> approximate completion.
+	sim, _ := New(cfg)
+	enough := fixedTask(0, 0, 0, 12, 20)
+	if _, err := sim.Run([]*task.Task{enough}); err != nil {
+		t.Fatal(err)
+	}
+	if enough.State != task.StateApprox {
+		t.Errorf("60%%-executed evictee state = %v, want approx", enough.State)
+	}
+
+	// Same setup with a tighter deadline: 6/20 = 30% < 50% -> dropped.
+	sim2, _ := New(cfg)
+	tooLittle := fixedTask(0, 0, 0, 6, 20)
+	if _, err := sim2.Run([]*task.Task{tooLittle}); err != nil {
+		t.Fatal(err)
+	}
+	if tooLittle.State != task.StateDropped {
+		t.Errorf("30%%-executed evictee state = %v, want dropped", tooLittle.State)
+	}
+}
+
+// TestApproxDisabledByDefault: without the extension every evictee drops.
+func TestApproxDisabledByDefault(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "PAM", matrix)
+	sim, _ := New(cfg)
+	evictee := fixedTask(0, 0, 0, 12, 20)
+	if _, err := sim.Run([]*task.Task{evictee}); err != nil {
+		t.Fatal(err)
+	}
+	if evictee.State == task.StateApprox {
+		t.Error("approximate completion with extension disabled")
+	}
+}
+
+// TestApproxValidation: out-of-range fractions rejected.
+func TestApproxValidation(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "PAM", matrix)
+	cfg.ApproxFraction = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("ApproxFraction 1.5 accepted")
+	}
+}
+
+// TestApproxCountsInMetrics: quality-weighted robustness credits half a
+// completion per approximate exit and the plain robustness is unchanged.
+func TestApproxCountsInMetrics(t *testing.T) {
+	matrix := simPET(t)
+	run := func(frac float64) (rob, quality float64, approx int) {
+		cfg := baseConfig(t, "PAM", matrix)
+		cfg.ApproxFraction = frac
+		sim, _ := New(cfg)
+		tasks, err := workload.Generate(workload.Config{NumTasks: 400, Rate: 0.3, VarFrac: 0.1, Beta: 2}, matrix, stats.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.RobustnessPct, st.QualityPct, st.Approx
+	}
+	robOff, qualOff, approxOff := run(0)
+	robOn, qualOn, approxOn := run(0.5)
+	if approxOff != 0 {
+		t.Errorf("approx completions with extension off: %d", approxOff)
+	}
+	if robOn != robOff {
+		t.Errorf("plain robustness changed: %v vs %v (accounting must not affect scheduling)", robOn, robOff)
+	}
+	if qualOff != robOff {
+		t.Errorf("quality == robustness expected with extension off: %v vs %v", qualOff, robOff)
+	}
+	if approxOn > 0 && qualOn <= robOn {
+		t.Errorf("quality %v should exceed robustness %v with %d approx exits", qualOn, robOn, approxOn)
+	}
+}

@@ -1,0 +1,522 @@
+// Package simulator is the discrete-event engine tying the system together:
+// tasks arrive into a batch queue, mapping events fire on every arrival and
+// completion, the pruning mechanism defers/drops unlikely-to-succeed tasks,
+// and machines execute their FCFS queues — reproducing the experimental
+// apparatus of the paper's Section VI.
+package simulator
+
+import (
+	"fmt"
+
+	"taskprune/internal/cost"
+	"taskprune/internal/eventq"
+	"taskprune/internal/heuristics"
+	"taskprune/internal/machine"
+	"taskprune/internal/metrics"
+	"taskprune/internal/pet"
+	"taskprune/internal/pmf"
+	"taskprune/internal/pruner"
+	"taskprune/internal/task"
+	"taskprune/internal/trace"
+)
+
+// DefaultQueueCap is the per-machine queue capacity including the
+// executing task (paper: six).
+const DefaultQueueCap = 6
+
+// DefaultPreemptGrayFraction is the default preemption gray zone: an
+// executing task at more than half its dropping threshold is paused with
+// progress retained instead of being discarded outright.
+const DefaultPreemptGrayFraction = 0.5
+
+// Config assembles one simulated HC system.
+type Config struct {
+	// Heuristic is the mapping policy under test.
+	Heuristic heuristics.Heuristic
+	// PET is the system's probabilistic execution time model; its column
+	// count defines the machine fleet size.
+	PET *pet.Matrix
+	// QueueCap is the per-machine queue capacity (0 → DefaultQueueCap).
+	QueueCap int
+	// Mode selects the completion-time convolution scenario used for
+	// robustness estimates (paper Section IV). ConfigFor picks the
+	// scenario matching each heuristic's dropping behaviour.
+	Mode pmf.DropMode
+	// MaxImpulses bounds PMF width during chained convolutions.
+	MaxImpulses int
+	// Pruner configures the pruning mechanism; nil disables pruning even
+	// for pruning-aware heuristics.
+	Pruner *pruner.Config
+	// FairnessFactor is PAMF's ϑ; 0 disables fairness tracking.
+	FairnessFactor float64
+	// EvictAtDeadline kills an executing task the instant its deadline
+	// passes (scenario C semantics). Baselines leave it false: they waste
+	// machine time finishing doomed tasks, which is the paper's point.
+	EvictAtDeadline bool
+	// Preempt enables the preemption extension (the paper's stated future
+	// work): when the pruner would drop an *executing* task whose success
+	// probability still sits in the gray zone, the task is paused instead —
+	// its progress is retained and it re-queues at its machine's tail,
+	// resuming later with only its remaining execution time owed.
+	Preempt bool
+	// PreemptGrayFraction defines the gray zone: an executing task with
+	// success probability above grayFraction × (its effective dropping
+	// threshold) is preempted rather than dropped. 0 means
+	// DefaultPreemptGrayFraction.
+	PreemptGrayFraction float64
+	// ApproxFraction enables the approximate-computing extension (the
+	// paper's second future-work item): a task evicted at its deadline
+	// that has already received at least this fraction of its true
+	// execution time exits as an approximate completion instead of a drop
+	// (e.g. a transcode that delivered most of its frames). 0 disables;
+	// values are in (0, 1].
+	ApproxFraction float64
+	// Prices gives dollars/hour per machine for the cost model; nil bills
+	// nothing.
+	Prices []float64
+	// Trim is the steady-state trim count for metrics (0 → DefaultTrim).
+	Trim int
+	// Trace, when non-nil, records the simulator's decision stream
+	// (arrivals, mapping decisions, drops, pruner flips) for auditing.
+	Trace *trace.Recorder
+}
+
+// ConfigFor returns the evaluation configuration the paper uses for the
+// named heuristic on the given PET: baselines run without pruning under
+// scenario-B estimates; PAM and PAMF run the full pruning mechanism under
+// scenario-C (evict) semantics; PAMF additionally tracks fairness with the
+// paper's chosen 5% factor.
+func ConfigFor(name string, matrix *pet.Matrix) (Config, error) {
+	h, err := heuristics.New(name)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Heuristic:   h,
+		PET:         matrix,
+		QueueCap:    DefaultQueueCap,
+		Mode:        pmf.PendingDrop,
+		MaxImpulses: pmf.DefaultMaxImpulses,
+		Trim:        metrics.DefaultTrim,
+	}
+	if h.UsesPruning() {
+		pc := pruner.DefaultConfig()
+		cfg.Pruner = &pc
+		cfg.Mode = pmf.Evict
+		cfg.EvictAtDeadline = true
+		if name == "PAMF" {
+			cfg.FairnessFactor = 0.05
+		}
+	}
+	return cfg, nil
+}
+
+// MustConfigFor is ConfigFor for statically known heuristic names.
+func MustConfigFor(name string, matrix *pet.Matrix) Config {
+	cfg, err := ConfigFor(name, matrix)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// Simulator executes one trial. Create one per trial; it is single-use and
+// not safe for concurrent use (run trials in parallel by creating one
+// Simulator per goroutine).
+type Simulator struct {
+	cfg      Config
+	machines []*machine.Machine
+	events   eventq.Queue
+	batch    []*task.Task
+	tasks    map[int]*task.Task
+	finished []*task.Task
+
+	pruner   *pruner.Pruner
+	fairness *pruner.FairnessTracker
+
+	now              int64
+	missedSinceEvent int
+	droppedByPruner  int
+	evicted          int
+	preempted        int
+	mappingEvents    int
+}
+
+// New validates cfg and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Heuristic == nil {
+		return nil, fmt.Errorf("simulator: nil heuristic")
+	}
+	if cfg.PET == nil || cfg.PET.NumMachines() == 0 {
+		return nil, fmt.Errorf("simulator: missing PET matrix")
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("simulator: queue capacity must be >= 1, got %d", cfg.QueueCap)
+	}
+	if cfg.MaxImpulses == 0 {
+		cfg.MaxImpulses = pmf.DefaultMaxImpulses
+	}
+	if cfg.Trim == 0 {
+		cfg.Trim = metrics.DefaultTrim
+	}
+	if cfg.PreemptGrayFraction == 0 {
+		cfg.PreemptGrayFraction = DefaultPreemptGrayFraction
+	}
+	if cfg.PreemptGrayFraction < 0 || cfg.PreemptGrayFraction > 1 {
+		return nil, fmt.Errorf("simulator: PreemptGrayFraction out of [0,1]: %v", cfg.PreemptGrayFraction)
+	}
+	if cfg.ApproxFraction < 0 || cfg.ApproxFraction > 1 {
+		return nil, fmt.Errorf("simulator: ApproxFraction out of [0,1]: %v", cfg.ApproxFraction)
+	}
+	if cfg.Prices != nil && len(cfg.Prices) != cfg.PET.NumMachines() {
+		return nil, fmt.Errorf("simulator: %d prices for %d machines", len(cfg.Prices), cfg.PET.NumMachines())
+	}
+	s := &Simulator{cfg: cfg, tasks: make(map[int]*task.Task)}
+	for mi := 0; mi < cfg.PET.NumMachines(); mi++ {
+		price := 0.0
+		if cfg.Prices != nil {
+			price = cfg.Prices[mi]
+		}
+		s.machines = append(s.machines, machine.New(mi, fmt.Sprintf("m%d", mi), cfg.QueueCap, price))
+	}
+	if cfg.Pruner != nil && cfg.Heuristic.UsesPruning() {
+		s.pruner = pruner.New(*cfg.Pruner)
+		if cfg.FairnessFactor > 0 {
+			s.fairness = pruner.NewFairnessTracker(cfg.PET.NumTypes(), cfg.FairnessFactor)
+		}
+	}
+	return s, nil
+}
+
+// Run simulates the full lifetime of the given workload and returns the
+// trial statistics. Tasks must have TrueExec populated for every machine.
+func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
+	for _, t := range tasks {
+		if len(t.TrueExec) != len(s.machines) {
+			return metrics.TrialStats{}, fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), len(s.machines))
+		}
+		s.tasks[t.ID] = t
+		s.events.Push(eventq.Event{Tick: t.Arrival, Kind: eventq.Arrival, TaskID: t.ID})
+	}
+	for {
+		e, ok := s.events.Pop()
+		if !ok {
+			break
+		}
+		s.now = e.Tick
+		switch e.Kind {
+		case eventq.Arrival:
+			s.batch = append(s.batch, s.tasks[e.TaskID])
+			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskArrived, TaskID: e.TaskID, Machine: -1})
+		case eventq.Completion:
+			if !s.handleCompletion(e) {
+				continue // stale completion for an already-dropped task
+			}
+		}
+		s.dropExpired()
+		s.mappingEvent()
+		s.startIdleMachines()
+	}
+	s.flushUnfinished()
+	totalCost := 0.0
+	if s.cfg.Prices != nil {
+		busy := make([]int64, len(s.machines))
+		for i, m := range s.machines {
+			busy[i] = m.BusyTicks(s.now)
+		}
+		totalCost = cost.Total(busy, s.cfg.Prices)
+	}
+	st := metrics.Collect(s.finished, s.cfg.PET.NumTypes(), s.cfg.Trim, totalCost)
+	return st, nil
+}
+
+// handleCompletion finalizes a machine's executing task. It returns false
+// when the event is stale (the task was pruned after scheduling).
+func (s *Simulator) handleCompletion(e eventq.Event) bool {
+	m := s.machines[e.Machine]
+	ex := m.Executing()
+	if ex == nil || ex.ID != e.TaskID {
+		return false
+	}
+	// Guard against a stale event from a run that was preempted and
+	// restarted: the genuine completion tick of the *current* run is
+	// start + remaining (clamped to the deadline under eviction).
+	expected := ex.Start + ex.Remaining(m.ID)
+	if s.cfg.EvictAtDeadline && expected > ex.Deadline {
+		expected = ex.Deadline
+	}
+	if s.now != expected {
+		return false
+	}
+	m.FinishExecuting(s.now)
+	trueFinish := ex.Start + ex.Remaining(m.ID)
+	switch {
+	case s.cfg.EvictAtDeadline && trueFinish > ex.Deadline:
+		// The task was killed at its deadline (scenario C): it never fully
+		// completed. Under the approximate-computing extension, a task that
+		// already received enough of its execution exits with a degraded
+		// but useful result.
+		received := float64(ex.Consumed + (s.now - ex.Start))
+		if s.cfg.ApproxFraction > 0 && received >= s.cfg.ApproxFraction*float64(ex.TrueExec[m.ID]) {
+			s.exitTask(ex, task.StateApprox)
+		} else {
+			s.exitTask(ex, task.StateDropped)
+		}
+		s.evicted++
+	case s.now <= ex.Deadline:
+		s.exitTask(ex, task.StateCompleted)
+	default:
+		s.exitTask(ex, task.StateMissed)
+	}
+	return true
+}
+
+// exitTask records a task leaving the system at the current tick.
+func (s *Simulator) exitTask(t *task.Task, st task.State) {
+	t.State = st
+	t.Finish = s.now
+	s.finished = append(s.finished, t)
+	var kind trace.Kind
+	switch st {
+	case task.StateCompleted, task.StateApprox:
+		kind = trace.TaskCompleted
+	case task.StateMissed:
+		kind = trace.TaskMissed
+	default:
+		kind = trace.TaskDropped
+	}
+	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: kind, TaskID: t.ID, Machine: t.Machine})
+	if st != task.StateCompleted {
+		s.missedSinceEvent++
+	}
+	if s.fairness != nil {
+		if st == task.StateCompleted {
+			s.fairness.RecordSuccess(t.Type)
+		} else {
+			s.fairness.RecordFailure(t.Type)
+		}
+	}
+}
+
+// dropExpired removes tasks whose deadlines have passed from the batch
+// queue and from machine pending queues (paper Section III: "Before the
+// mapping event, tasks that have missed their deadlines are dropped").
+func (s *Simulator) dropExpired() {
+	kept := s.batch[:0]
+	for _, t := range s.batch {
+		if t.Expired(s.now) {
+			s.exitTask(t, task.StateDropped)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	s.batch = kept
+	for _, m := range s.machines {
+		for _, t := range append([]*task.Task(nil), m.Pending()...) {
+			if t.Expired(s.now) {
+				m.RemovePending(t)
+				s.exitTask(t, task.StateDropped)
+			}
+		}
+	}
+}
+
+// mappingEvent runs the pruning stage (for pruning-aware heuristics) and
+// the mapping heuristic.
+func (s *Simulator) mappingEvent() {
+	s.mappingEvents++
+	if s.pruner != nil {
+		wasDropping := s.pruner.Dropping()
+		dropping := s.pruner.ObserveMappingEvent(s.missedSinceEvent)
+		s.missedSinceEvent = 0
+		if dropping != wasDropping {
+			kind := trace.PrunerEngaged
+			if !dropping {
+				kind = trace.PrunerDisengaged
+			}
+			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: kind, TaskID: -1, Machine: -1, Value: s.pruner.Level()})
+		}
+		if dropping {
+			s.pruneQueues()
+		}
+	} else {
+		s.missedSinceEvent = 0
+	}
+	ctx := &heuristics.Context{
+		Now:         s.now,
+		Machines:    s.machines,
+		PET:         s.cfg.PET,
+		Mode:        s.cfg.Mode,
+		MaxImpulses: s.cfg.MaxImpulses,
+		Pruner:      s.pruner,
+		Fairness:    s.fairness,
+	}
+	res := s.cfg.Heuristic.Map(ctx, s.batch)
+	if s.cfg.Trace != nil {
+		for _, t := range res.Assigned {
+			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskMapped, TaskID: t.ID, Machine: t.Machine})
+		}
+		for _, t := range res.Deferred {
+			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskDeferred, TaskID: t.ID, Machine: -1})
+		}
+	}
+	if len(res.Assigned) > 0 || len(res.Culled) > 0 {
+		gone := make(map[*task.Task]bool, len(res.Assigned)+len(res.Culled))
+		for _, t := range res.Assigned {
+			gone[t] = true
+		}
+		for _, t := range res.Culled {
+			gone[t] = true
+		}
+		kept := s.batch[:0]
+		for _, t := range s.batch {
+			if !gone[t] {
+				kept = append(kept, t)
+			}
+		}
+		s.batch = kept
+		for _, t := range res.Culled {
+			s.exitTask(t, task.StateDropped)
+		}
+	}
+}
+
+// pruneQueues walks every machine queue head-to-tail, dropping tasks whose
+// success probability is at or below their per-task adjusted dropping
+// threshold (Section V-A). Dropped tasks are excluded from the completion
+// chain, which is exactly how dropping improves the tasks behind them.
+func (s *Simulator) pruneQueues() {
+	for _, m := range s.machines {
+		prev := pmf.Impulse(s.now)
+		pos := 0
+		if ex := m.Executing(); ex != nil {
+			comp := s.cfg.PET.PMF(ex.Type, m.ID).Shift(ex.Start - ex.Consumed).ConditionAtLeast(s.now)
+			rob := comp.SuccessProb(ex.Deadline)
+			skew := comp.BoundedSkewness()
+			if s.pruner.ShouldDrop(rob, skew, pos, s.sufferage(ex.Type)) {
+				m.FinishExecuting(s.now)
+				threshold := s.pruner.DropThresholdFor(skew, pos, s.sufferage(ex.Type))
+				if s.cfg.Preempt && rob > s.cfg.PreemptGrayFraction*threshold {
+					// Gray zone: pause with progress retained instead of
+					// discarding the work done so far.
+					ex.Consumed += s.now - ex.Start
+					ex.Preemptions++
+					s.preempted++
+					if err := m.Enqueue(ex); err != nil {
+						// Queue full can't happen: we just freed the
+						// executing slot. Treat defensively as a drop.
+						s.exitTask(ex, task.StateDropped)
+						s.droppedByPruner++
+					} else {
+						s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskPreempted, TaskID: ex.ID, Machine: m.ID, Value: rob})
+					}
+				} else {
+					s.exitTask(ex, task.StateDropped)
+					s.droppedByPruner++
+				}
+				// prev stays: the machine is free right now.
+			} else {
+				free := comp
+				if s.cfg.Mode == pmf.Evict {
+					free = comp.Clone()
+					late := free.TruncateAfter(ex.Deadline)
+					if late > 0 {
+						free.AddMass(ex.Deadline, late)
+					}
+				}
+				prev = pmf.Compact(free, s.cfg.MaxImpulses)
+				pos++
+			}
+		}
+		for _, t := range append([]*task.Task(nil), m.Pending()...) {
+			exec := s.cfg.PET.PMF(t.Type, m.ID)
+			if t.Consumed > 0 {
+				exec = exec.RemainingAfter(t.Consumed) // preempted: partial credit
+			}
+			res := pmf.ConvolveDrop(prev, exec, t.Deadline, s.cfg.Mode)
+			if s.pruner.ShouldDrop(res.Success, res.Free.BoundedSkewness(), pos, s.sufferage(t.Type)) {
+				m.RemovePending(t)
+				s.exitTask(t, task.StateDropped)
+				s.droppedByPruner++
+				continue
+			}
+			prev = pmf.Compact(res.Free, s.cfg.MaxImpulses)
+			pos++
+		}
+	}
+}
+
+func (s *Simulator) sufferage(tt task.Type) float64 {
+	if s.fairness == nil {
+		return 0
+	}
+	return s.fairness.Sufferage(tt)
+}
+
+// startIdleMachines begins execution on any idle machine with pending work
+// and schedules the corresponding completion events.
+func (s *Simulator) startIdleMachines() {
+	for _, m := range s.machines {
+		if !m.Idle() {
+			continue
+		}
+		t := m.StartNext(s.now)
+		if t == nil {
+			continue
+		}
+		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskStarted, TaskID: t.ID, Machine: m.ID})
+		finish := s.now + t.Remaining(m.ID)
+		if s.cfg.EvictAtDeadline && finish > t.Deadline {
+			finish = t.Deadline // killed at the deadline, machine freed
+		}
+		s.events.Push(eventq.Event{Tick: finish, Kind: eventq.Completion, TaskID: t.ID, Machine: m.ID})
+	}
+}
+
+// flushUnfinished drains tasks still in the system after the last event
+// (deferred tasks that never became mappable); they exit as dropped at
+// their deadlines.
+func (s *Simulator) flushUnfinished() {
+	for _, t := range s.batch {
+		if t.Deadline > s.now {
+			s.now = t.Deadline
+		}
+		s.exitTask(t, task.StateDropped)
+	}
+	s.batch = nil
+	for _, m := range s.machines {
+		for _, t := range append([]*task.Task(nil), m.Pending()...) {
+			m.RemovePending(t)
+			s.exitTask(t, task.StateDropped)
+		}
+		if ex := m.Executing(); ex != nil {
+			m.FinishExecuting(s.now)
+			s.exitTask(ex, task.StateDropped)
+		}
+	}
+}
+
+// Machines exposes the fleet for inspection (tests, cost accounting).
+func (s *Simulator) Machines() []*machine.Machine { return s.machines }
+
+// Pruner exposes the pruner state (nil when pruning is disabled).
+func (s *Simulator) Pruner() *pruner.Pruner { return s.pruner }
+
+// Stats counters for diagnostics.
+func (s *Simulator) DroppedByPruner() int { return s.droppedByPruner }
+
+// Evicted returns how many executing tasks were killed at their deadlines.
+func (s *Simulator) Evicted() int { return s.evicted }
+
+// Preempted returns how many times the pruner paused an executing task
+// instead of dropping it (preemption extension).
+func (s *Simulator) Preempted() int { return s.preempted }
+
+// MappingEvents returns how many mapping events fired.
+func (s *Simulator) MappingEvents() int { return s.mappingEvents }
+
+// Now returns the simulator clock (final tick after Run).
+func (s *Simulator) Now() int64 { return s.now }

@@ -1,0 +1,101 @@
+package simulator
+
+import (
+	"testing"
+
+	"taskprune/internal/stats"
+	"taskprune/internal/trace"
+	"taskprune/internal/workload"
+)
+
+// TestTraceStreamConsistency runs a PAM trial with tracing on and checks
+// the decision stream is internally consistent: every task arrives exactly
+// once, every task exits exactly once, starts never exceed mappings, and
+// pruner engage/disengage events alternate.
+func TestTraceStreamConsistency(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "PAM", matrix)
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := workload.Generate(workload.Config{NumTasks: 250, Rate: 0.3, VarFrac: 0.1, Beta: 2}, matrix, stats.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := rec.CountByKind()
+	if counts[trace.TaskArrived] != 250 {
+		t.Errorf("arrivals = %d, want 250", counts[trace.TaskArrived])
+	}
+	exits := counts[trace.TaskCompleted] + counts[trace.TaskMissed] + counts[trace.TaskDropped]
+	if exits != 250 {
+		t.Errorf("exits = %d, want 250", exits)
+	}
+	if counts[trace.TaskStarted] > counts[trace.TaskMapped] {
+		t.Errorf("starts (%d) exceed mappings (%d)", counts[trace.TaskStarted], counts[trace.TaskMapped])
+	}
+
+	// Per-task: one arrival, one exit; mapped before started.
+	arrived := map[int]int{}
+	exited := map[int]int{}
+	prevPrunerOn := false
+	var lastTick int64
+	for _, e := range rec.Events() {
+		if e.Tick < lastTick {
+			t.Fatalf("trace out of chronological order at %+v", e)
+		}
+		lastTick = e.Tick
+		switch e.Kind {
+		case trace.TaskArrived:
+			arrived[e.TaskID]++
+		case trace.TaskCompleted, trace.TaskMissed, trace.TaskDropped:
+			exited[e.TaskID]++
+		case trace.PrunerEngaged:
+			if prevPrunerOn {
+				t.Fatal("double pruner-engage without disengage")
+			}
+			prevPrunerOn = true
+		case trace.PrunerDisengaged:
+			if !prevPrunerOn {
+				t.Fatal("pruner-disengage without engage")
+			}
+			prevPrunerOn = false
+		}
+	}
+	for id, n := range arrived {
+		if n != 1 {
+			t.Errorf("task %d arrived %d times", id, n)
+		}
+		if exited[id] != 1 {
+			t.Errorf("task %d exited %d times", id, exited[id])
+		}
+	}
+}
+
+// TestTraceRingBounded: a ring recorder on a long run stays within bounds.
+func TestTraceRingBounded(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "MM", matrix)
+	rec := trace.NewRingRecorder(64)
+	cfg.Trace = rec
+	sim, _ := New(cfg)
+	tasks, err := workload.Generate(workload.Config{NumTasks: 200, Rate: 0.3, VarFrac: 0.1, Beta: 2}, matrix, stats.NewRNG(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 64 {
+		t.Errorf("ring Len = %d, want 64", rec.Len())
+	}
+	if rec.Dropped() == 0 {
+		t.Error("ring should have wrapped on a 200-task run")
+	}
+}

@@ -1,0 +1,88 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	tk := New(3, Type(2), 100, 250)
+	if tk.ID != 3 || tk.Type != 2 || tk.Arrival != 100 || tk.Deadline != 250 {
+		t.Errorf("unexpected fields: %+v", tk)
+	}
+	if tk.State != StatePending {
+		t.Errorf("State = %v, want pending", tk.State)
+	}
+	if tk.Machine != -1 {
+		t.Errorf("Machine = %d, want -1 (unmapped)", tk.Machine)
+	}
+}
+
+func TestSlackAndExpired(t *testing.T) {
+	tk := New(0, 0, 0, 100)
+	if got := tk.Slack(40); got != 60 {
+		t.Errorf("Slack(40) = %d, want 60", got)
+	}
+	if got := tk.Slack(140); got != -40 {
+		t.Errorf("Slack(140) = %d, want -40", got)
+	}
+	// Completion exactly at the deadline succeeds (Eq. 1 uses t <= δ), so
+	// expiry must be strict.
+	if tk.Expired(100) {
+		t.Error("task expired exactly at deadline; expiry must be strict")
+	}
+	if !tk.Expired(101) {
+		t.Error("task not expired after deadline")
+	}
+}
+
+func TestDoneAndSucceeded(t *testing.T) {
+	tk := New(0, 0, 0, 100)
+	cases := []struct {
+		state     State
+		done, win bool
+	}{
+		{StatePending, false, false},
+		{StateQueued, false, false},
+		{StateRunning, false, false},
+		{StateCompleted, true, true},
+		{StateMissed, true, false},
+		{StateDropped, true, false},
+	}
+	for _, c := range cases {
+		tk.State = c.state
+		if tk.Done() != c.done {
+			t.Errorf("%v: Done = %v, want %v", c.state, tk.Done(), c.done)
+		}
+		if tk.Succeeded() != c.win {
+			t.Errorf("%v: Succeeded = %v, want %v", c.state, tk.Succeeded(), c.win)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		StatePending:   "pending",
+		StateQueued:    "queued",
+		StateRunning:   "running",
+		StateCompleted: "completed",
+		StateMissed:    "missed",
+		StateDropped:   "dropped",
+		State(99):      "State(99)",
+	}
+	for s, str := range want {
+		if got := s.String(); got != str {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, str)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	tk := New(7, Type(3), 10, 20)
+	s := tk.String()
+	for _, frag := range []string{"id=7", "type=3", "arr=10", "dl=20", "pending"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Tick: 1, Kind: TaskArrived}) // must not panic
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder has state")
+	}
+	if r.Events() != nil {
+		t.Error("nil recorder returned events")
+	}
+	if len(r.CountByKind()) != 0 {
+		t.Error("nil recorder counted events")
+	}
+}
+
+func TestUnboundedRecorder(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 1000; i++ {
+		r.Record(Event{Tick: int64(i), Kind: TaskArrived, TaskID: i})
+	}
+	if r.Len() != 1000 {
+		t.Errorf("Len = %d, want 1000", r.Len())
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.TaskID != i {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingRecorderKeepsRecent(t *testing.T) {
+	r := NewRingRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Tick: int64(i), TaskID: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", r.Dropped())
+	}
+	evs := r.Events()
+	want := []int{7, 8, 9}
+	for i, e := range evs {
+		if e.TaskID != want[i] {
+			t.Errorf("retained event %d = task %d, want %d", i, e.TaskID, want[i])
+		}
+	}
+	// Chronological order must be preserved across the wrap point.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Tick < evs[i-1].Tick {
+			t.Error("events out of chronological order after wrap")
+		}
+	}
+}
+
+func TestRingRecorderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity ring accepted")
+		}
+	}()
+	NewRingRecorder(0)
+}
+
+func TestCountByKind(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: TaskArrived})
+	r.Record(Event{Kind: TaskArrived})
+	r.Record(Event{Kind: TaskDropped})
+	counts := r.CountByKind()
+	if counts[TaskArrived] != 2 || counts[TaskDropped] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		TaskArrived: "arrived", TaskMapped: "mapped", TaskDeferred: "deferred",
+		TaskStarted: "started", TaskCompleted: "completed", TaskMissed: "missed",
+		TaskDropped: "dropped", PrunerEngaged: "pruner-on", PrunerDisengaged: "pruner-off",
+		Kind(42): "Kind(42)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Tick: 5, Kind: TaskDropped, TaskID: 3, Machine: 2, Value: 0.42}
+	s := e.String()
+	for _, frag := range []string{"t=5", "dropped", "task=3", "machine=2", "v=0.420"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Event.String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Tick: 1, Kind: TaskArrived, TaskID: 0, Machine: -1})
+	r.Record(Event{Tick: 2, Kind: TaskMapped, TaskID: 0, Machine: 3})
+	var text, csv strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(text.String(), "\n"); lines != 2 {
+		t.Errorf("text lines = %d, want 2", lines)
+	}
+	if !strings.HasPrefix(csv.String(), "tick,kind,task,machine,value\n") {
+		t.Errorf("CSV missing header: %q", csv.String())
+	}
+	if !strings.Contains(csv.String(), "2,mapped,0,3,0") {
+		t.Errorf("CSV missing row: %q", csv.String())
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taskprune/internal/stats"
+	"taskprune/internal/task"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	matrix := testPET(t)
+	orig, err := Generate(baseConfig(), matrix, stats.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCSV(&buf, matrix.NumMachines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(orig) {
+		t.Fatalf("loaded %d tasks, want %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], loaded[i]
+		if a.ID != b.ID || a.Type != b.Type || a.Arrival != b.Arrival || a.Deadline != b.Deadline {
+			t.Fatalf("task %d fields changed: %+v vs %+v", i, a, b)
+		}
+		for mi := range a.TrueExec {
+			if a.TrueExec[mi] != b.TrueExec[mi] {
+				t.Fatalf("task %d exec %d changed", i, mi)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad field count":   "1,2,3\n",
+		"bad type":          "0,x,0,10,5;5\n",
+		"bad arrival":       "0,0,x,10,5;5\n",
+		"deadline<=arrival": "0,0,10,10,5;5\n",
+		"wrong machines":    "0,0,0,10,5\n",
+		"zero exec":         "0,0,0,10,0;5\n",
+	}
+	for name, payload := range cases {
+		if _, err := ReadCSV(strings.NewReader(payload), 2); err == nil {
+			t.Errorf("%s: accepted %q", name, payload)
+		}
+	}
+}
+
+func TestReadCSVSortsAndRenumbers(t *testing.T) {
+	csvData := "id,type,arrival,deadline,true_exec_per_machine\n" +
+		"99,1,50,100,5;5\n" +
+		"98,0,10,60,4;4\n"
+	tasks, err := ReadCSV(strings.NewReader(csvData), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].Arrival != 10 || tasks[0].ID != 0 {
+		t.Errorf("first task = %+v, want earliest arrival with ID 0", tasks[0])
+	}
+	if tasks[1].Arrival != 50 || tasks[1].ID != 1 {
+		t.Errorf("second task = %+v", tasks[1])
+	}
+	if tasks[0].Type != task.Type(0) {
+		t.Errorf("type = %v", tasks[0].Type)
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	tasks, err := ReadCSV(strings.NewReader("0,0,0,10,5;6\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].TrueExec[1] != 6 {
+		t.Errorf("tasks = %+v", tasks)
+	}
+}

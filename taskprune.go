@@ -1,0 +1,157 @@
+// Package taskprune is the public API of a reproduction of "Robust Dynamic
+// Resource Allocation via Probabilistic Task Pruning in Heterogeneous
+// Computing Systems" (Gentry, Denninnart, Amini Salehi; IPDPS Workshops
+// 2019, arXiv:1901.09312).
+//
+// The library simulates an oversubscribed heterogeneous computing system in
+// which deadline-constrained tasks are mapped in batches onto machines with
+// bounded FCFS queues, and implements the paper's probabilistic pruning
+// mechanism (task deferring + dynamic task dropping) together with the PAM
+// and PAMF mapping heuristics and the MM/MSD/MMU/MOC baselines.
+//
+// # Quick start
+//
+//	matrix := taskprune.SPECPET()
+//	cfg := taskprune.MustConfigFor("PAM", matrix)
+//	rng := taskprune.NewRNG(42)
+//	tasks := taskprune.MustGenerateWorkload(taskprune.WorkloadConfig{
+//		NumTasks: 800,
+//		Rate:     taskprune.RateForLevel(taskprune.Level34k),
+//		VarFrac:  0.10,
+//		Beta:     2.0,
+//	}, matrix, rng)
+//	sim, _ := taskprune.NewSimulator(cfg)
+//	stats, _ := sim.Run(tasks)
+//	fmt.Printf("robustness: %.1f%%\n", stats.RobustnessPct)
+//
+// The subpackages under internal/ contain the substrates (PMF algebra,
+// PET profiling, the event-driven engine, the experiment harness); this
+// package re-exports the surface a downstream user needs.
+package taskprune
+
+import (
+	"taskprune/internal/experiments"
+	"taskprune/internal/heuristics"
+	"taskprune/internal/metrics"
+	"taskprune/internal/pet"
+	"taskprune/internal/pmf"
+	"taskprune/internal/pruner"
+	"taskprune/internal/simulator"
+	"taskprune/internal/stats"
+	"taskprune/internal/task"
+	"taskprune/internal/trace"
+	"taskprune/internal/workload"
+)
+
+// Core model types.
+type (
+	// PMF is a discrete probability mass function over integer time ticks.
+	PMF = pmf.PMF
+	// DropMode selects the paper's completion-time scenario (A/B/C).
+	DropMode = pmf.DropMode
+	// Task is one deadline-constrained request.
+	Task = task.Task
+	// TaskType indexes a PET matrix row.
+	TaskType = task.Type
+	// PETMatrix is the Probabilistic Execution Time matrix.
+	PETMatrix = pet.Matrix
+	// PETBuildConfig controls offline PET profiling.
+	PETBuildConfig = pet.BuildConfig
+	// RNG is the deterministic random source used everywhere.
+	RNG = stats.RNG
+)
+
+// Dropping scenarios (paper Section IV).
+const (
+	NoDrop      = pmf.NoDrop
+	PendingDrop = pmf.PendingDrop
+	Evict       = pmf.Evict
+)
+
+// Simulation and policy types.
+type (
+	// Simulator runs one trial of the HC system.
+	Simulator = simulator.Simulator
+	// SimConfig assembles a simulated system.
+	SimConfig = simulator.Config
+	// Heuristic is a batch mapping policy.
+	Heuristic = heuristics.Heuristic
+	// PrunerConfig holds the pruning-policy knobs.
+	PrunerConfig = pruner.Config
+	// TrialStats summarizes one trial.
+	TrialStats = metrics.TrialStats
+	// WorkloadConfig parameterizes workload generation.
+	WorkloadConfig = workload.Config
+	// ExperimentOptions controls figure regeneration scale.
+	ExperimentOptions = experiments.Options
+	// Figure is a regenerated paper figure.
+	Figure = experiments.Figure
+	// TraceRecorder records the simulator's decision stream.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded simulator decision.
+	TraceEvent = trace.Event
+)
+
+// Constructors and helpers re-exported from the internal packages.
+var (
+	// NewRNG returns a seeded deterministic random source.
+	NewRNG = stats.NewRNG
+	// NewSimulator validates a SimConfig and builds a Simulator.
+	NewSimulator = simulator.New
+	// ConfigFor returns the paper's evaluation configuration for a named
+	// heuristic ("PAM", "PAMF", "MOC", "MM", "MSD", "MMU").
+	ConfigFor = simulator.ConfigFor
+	// MustConfigFor is ConfigFor for known-good names.
+	MustConfigFor = simulator.MustConfigFor
+	// NewHeuristic constructs a mapping heuristic by name.
+	NewHeuristic = heuristics.New
+	// HeuristicNames lists the available heuristics.
+	HeuristicNames = heuristics.AllNames
+	// DefaultPrunerConfig returns the paper's converged pruning knobs.
+	DefaultPrunerConfig = pruner.DefaultConfig
+	// GenerateWorkload synthesizes one workload trial.
+	GenerateWorkload = workload.Generate
+	// MustGenerateWorkload is GenerateWorkload for known-good configs.
+	MustGenerateWorkload = workload.MustGenerate
+	// RateForLevel converts a paper-style oversubscription level into an
+	// arrival rate (tasks per tick).
+	RateForLevel = workload.RateForLevel
+	// VideoRateForLevel is RateForLevel for the Fig. 9 video system.
+	VideoRateForLevel = workload.VideoRateForLevel
+	// BuildPET profiles a PET matrix from a mean execution-time matrix.
+	BuildPET = pet.Build
+	// DefaultPETBuildConfig mirrors the paper's profiling setup.
+	DefaultPETBuildConfig = pet.DefaultBuildConfig
+	// SPECLikeMeans returns the 12×8 main-workload mean matrix.
+	SPECLikeMeans = pet.SPECLikeMeans
+	// VideoMeans returns the 4×4 video-workload mean matrix.
+	VideoMeans = pet.VideoMeans
+	// SPECPET returns the shared main-evaluation PET matrix.
+	SPECPET = experiments.SPECPET
+	// VideoPET returns the shared video-workload PET matrix.
+	VideoPET = experiments.VideoPET
+	// DefaultExperimentOptions mirrors the paper's 30-trial scale.
+	DefaultExperimentOptions = experiments.DefaultOptions
+	// QuickExperimentOptions is a reduced profile for smoke runs.
+	QuickExperimentOptions = experiments.QuickOptions
+	// NewTraceRecorder returns an unbounded simulator trace recorder.
+	NewTraceRecorder = trace.NewRecorder
+	// NewRingTraceRecorder keeps only the most recent N trace events.
+	NewRingTraceRecorder = trace.NewRingRecorder
+	// ReadPETJSON loads a PET matrix serialized with PETMatrix.WriteJSON.
+	ReadPETJSON = pet.ReadJSON
+	// WriteWorkloadCSV serializes a workload for replay.
+	WriteWorkloadCSV = workload.WriteCSV
+	// ReadWorkloadCSV parses a workload trace in wlgen's CSV schema.
+	ReadWorkloadCSV = workload.ReadCSV
+)
+
+// Oversubscription level labels used by the paper's figures.
+const (
+	Level10k  = workload.Level10k
+	Level12k5 = workload.Level12k5
+	Level15k  = workload.Level15k
+	Level17k5 = workload.Level17k5
+	Level19k  = workload.Level19k
+	Level34k  = workload.Level34k
+)
