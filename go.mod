@@ -1,0 +1,3 @@
+module taskprune
+
+go 1.24
