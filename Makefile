@@ -1,0 +1,36 @@
+GO   ?= go
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: build vet test ci bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+ci: vet build test bench-smoke
+
+# Quick throughput/allocation smoke: one full trial per heuristic class and
+# the convolution-core allocation guards.
+bench-smoke:
+	$(GO) test -run xxx -bench SingleTrial -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench Convolve -benchtime 100x -benchmem ./internal/pmf/
+
+# Full benchmark sweep, recorded as BENCH_<date>.json so the performance
+# trajectory of the repo is machine-readable PR over PR.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem . | tee /tmp/bench_raw.txt
+	awk 'BEGIN { print "["; first = 1 } \
+	/^Benchmark/ { \
+		if (!first) printf(",\n"); first = 0; \
+		printf("  {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $$1, $$2); \
+		sep = ""; \
+		for (i = 3; i < NF; i += 2) { printf("%s\"%s\":%s", sep, $$(i+1), $$i); sep = "," } \
+		printf("}}") \
+	} \
+	END { print "\n]" }' /tmp/bench_raw.txt > BENCH_$(DATE).json
+	@echo "wrote BENCH_$(DATE).json"

@@ -93,42 +93,48 @@ func buildPETs() {
 	petCache.video = pet.MustBuild(pet.VideoMeans(), pet.DefaultBuildConfig(), rng)
 }
 
+// TrialSeed derives the RNG seed of trial k under base seed. The
+// derivation depends only on (base, k) — never on which worker goroutine
+// picks the trial up or in what order trials finish — so every experiment
+// is reproducible under any Workers setting, including Workers=1. All
+// series at the same load level see identical workloads because they share
+// the base seed.
+func TrialSeed(base int64, k int) int64 { return base + int64(k) }
+
 // RunPoint executes Trials independent workload trials of one system
-// configuration in parallel and returns the per-trial statistics in trial
-// order.
+// configuration across a fixed pool of worker goroutines and returns the
+// per-trial statistics in trial order.
+//
+// Each worker owns its trial end to end (workload generation, a private
+// simulator, metrics collection), so trials share no mutable state; the
+// simulators' PMF arenas draw their scratch blocks from a process-wide
+// pool, which keeps the steady-state allocation rate flat no matter how
+// many trials run.
 func (o Options) RunPoint(matrix *pet.Matrix, wcfg workload.Config, simCfg simulator.Config) ([]metrics.TrialStats, error) {
 	if o.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: Trials must be positive, got %d", o.Trials)
 	}
 	results := make([]metrics.TrialStats, o.Trials)
 	errs := make([]error, o.Trials)
-	sem := make(chan struct{}, o.workers())
-	var wg sync.WaitGroup
-	for trial := 0; trial < o.Trials; trial++ {
-		wg.Add(1)
-		go func(trial int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := stats.NewRNG(o.Seed + int64(trial))
-			tasks, err := workload.Generate(wcfg, matrix, rng)
-			if err != nil {
-				errs[trial] = err
-				return
-			}
-			sim, err := simulator.New(simCfg)
-			if err != nil {
-				errs[trial] = err
-				return
-			}
-			st, err := sim.Run(tasks)
-			if err != nil {
-				errs[trial] = err
-				return
-			}
-			results[trial] = st
-		}(trial)
+	workers := o.workers()
+	if workers > o.Trials {
+		workers = o.Trials
 	}
+	trials := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range trials {
+				errs[trial] = o.runTrial(trial, matrix, wcfg, simCfg, &results[trial])
+			}
+		}()
+	}
+	for trial := 0; trial < o.Trials; trial++ {
+		trials <- trial
+	}
+	close(trials)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -136,6 +142,26 @@ func (o Options) RunPoint(matrix *pet.Matrix, wcfg workload.Config, simCfg simul
 		}
 	}
 	return results, nil
+}
+
+// runTrial generates and simulates one trial, writing its statistics into
+// out.
+func (o Options) runTrial(trial int, matrix *pet.Matrix, wcfg workload.Config, simCfg simulator.Config, out *metrics.TrialStats) error {
+	rng := stats.NewRNG(TrialSeed(o.Seed, trial))
+	tasks, err := workload.Generate(wcfg, matrix, rng)
+	if err != nil {
+		return err
+	}
+	sim, err := simulator.New(simCfg)
+	if err != nil {
+		return err
+	}
+	st, err := sim.Run(tasks)
+	if err != nil {
+		return err
+	}
+	*out = st
+	return nil
 }
 
 // Point is one x-position of one series in a figure.

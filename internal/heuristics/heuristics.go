@@ -33,6 +33,22 @@ type Context struct {
 	Pruner *pruner.Pruner
 	// Fairness supplies per-type sufferage values for PAMF; nil otherwise.
 	Fairness *pruner.FairnessTracker
+
+	// Arena, when non-nil, supplies scratch storage for every intermediate
+	// PMF a mapping event builds. The caller (the simulator) resets it
+	// between events; heuristics must not let arena-backed PMFs escape Map.
+	Arena *pmf.Arena
+	// Cache, when non-nil, carries the evaluation cache across mapping
+	// events so its storage is reused instead of reallocated. A nil Cache
+	// makes Map build a private one (tests, direct library use).
+	Cache *EvalCache
+	// NaiveEval disables the evaluation cache and the cross-event tail
+	// memo: every machine tail is rebuilt from its queue at every event and
+	// every phase-one scalar is recomputed on every commit round. Results
+	// are identical by construction (the equivalence tests assert it); the
+	// only difference is O(rounds × tasks × machines) work instead of
+	// O(tasks × machines + rounds × tasks). Used by tests and ablations.
+	NaiveEval bool
 }
 
 // sufferage returns the current sufferage for a task type, or 0 when no
@@ -102,6 +118,115 @@ func totalFreeSlots(ms []*machine.Machine) int {
 	return n
 }
 
+// EvalCache is the incremental mapping-event cache behind the
+// robustness-based heuristics. It persists across mapping events (the
+// simulator owns one per trial) so that the per-event working set — machine
+// tail PMFs, per-(task, machine) phase-one evaluations, and the phase-two
+// pair scratch — reaches a steady state with no heap allocation.
+//
+// Correctness rests on one invariant: a cached evaluation of task t on
+// machine m is valid exactly while m's queue version (machine.Version) is
+// unchanged within the current event epoch. Committing an assignment
+// enqueues onto exactly one machine, bumping its version and thereby
+// invalidating only that machine's column; every other cached evaluation
+// stays live. That turns the O(rounds × tasks × machines) convolution bill
+// of a naive mapper into O(tasks × machines + rounds × tasks).
+type EvalCache struct {
+	tails []*pmf.PMF // per-machine queue-tail free-time PMFs for this event
+
+	// stamps[i] counts actual changes of machine i's tail distribution. A
+	// cached evaluation is valid while its stamp matches: commits bump the
+	// committed machine's stamp (one column), and between events the stamp
+	// moves only when the tail memo below misses — so evaluations survive
+	// whole stretches of mapping events during which a machine's queue and
+	// conditioned head distribution are unchanged.
+	stamps []uint64
+	memo   []tailMemo
+
+	evals map[int]*taskEval
+	free  []*taskEval // recycled taskEval records
+
+	// Scratch reused by the mapping loops.
+	ready     []float64 // scalarState expected-ready times
+	pairs     []pamPair
+	mpairs    []mocPair
+	remaining []*task.Task
+	deferred  map[int]bool
+}
+
+// tailMemo caches one machine's last computed queue-tail PMF across
+// mapping events. The key pair (ver, key) pins everything the tail depends
+// on: ver is the machine's queue version; key captures how the executing
+// task's completion distribution is conditioned on the current clock — the
+// tick of its first still-possible completion impulse, or −now once the
+// chain head collapses onto an impulse at the clock (idle head, overdue
+// task). While both match, recomputing the chain would reproduce the
+// stored tail bit for bit, so it is skipped and the stamp stays put.
+type tailMemo struct {
+	valid   bool
+	hasExec bool
+	ver     uint64
+	key     int64
+	tail    pmf.PMF // persistent deep copy (storage reused via CopyFrom)
+}
+
+// NewEvalCache returns an empty cache, ready to be shared across the
+// mapping events of one simulation trial. A cache is tied to one machine
+// fleet and one convolution configuration (mode, compaction bound, PET);
+// it is not safe for concurrent use — give each simulator its own.
+func NewEvalCache() *EvalCache {
+	return &EvalCache{evals: make(map[int]*taskEval), deferred: make(map[int]bool)}
+}
+
+// Forget drops any cached evaluations for the given task ID, recycling the
+// record. The simulator calls it when a task exits the system.
+func (c *EvalCache) Forget(taskID int) {
+	if c == nil {
+		return
+	}
+	if te, ok := c.evals[taskID]; ok {
+		delete(c.evals, taskID)
+		c.free = append(c.free, te)
+	}
+}
+
+// taskEval is one task's row of cached phase-one evaluations, one slot per
+// machine, each stamped with the tail stamp it was computed against.
+type taskEval struct {
+	res []fastEval
+	ver []uint64
+	has []bool
+}
+
+// row returns the (possibly recycled) evaluation row for taskID, sized for
+// n machines. A fresh or recycled row starts with every slot invalid; an
+// existing row keeps its slots — stamp mismatches invalidate them lazily.
+func (c *EvalCache) row(taskID, n int) *taskEval {
+	te := c.evals[taskID]
+	if te == nil {
+		if k := len(c.free); k > 0 {
+			te = c.free[k-1]
+			c.free = c.free[:k-1]
+		} else {
+			te = &taskEval{}
+		}
+		c.evals[taskID] = te
+		if cap(te.res) < n {
+			te.res = make([]fastEval, n)
+			te.ver = make([]uint64, n)
+			te.has = make([]bool, n)
+		} else {
+			te.res = te.res[:n]
+			te.ver = te.ver[:n]
+			te.has = te.has[:n]
+		}
+		for i := range te.has {
+			te.has[i] = false // recycled rows carry another task's slots
+		}
+	}
+	return te
+}
+
 // scalarState tracks expected machine-ready times for the scalar baselines;
 // it is updated incrementally as phase two commits assignments.
 type scalarState struct {
@@ -109,7 +234,16 @@ type scalarState struct {
 }
 
 func newScalarState(ctx *Context) *scalarState {
-	s := &scalarState{ready: make([]float64, len(ctx.Machines))}
+	var ready []float64
+	if c := ctx.Cache; c != nil {
+		if cap(c.ready) < len(ctx.Machines) {
+			c.ready = make([]float64, len(ctx.Machines))
+		}
+		ready = c.ready[:len(ctx.Machines)]
+	} else {
+		ready = make([]float64, len(ctx.Machines))
+	}
+	s := &scalarState{ready: ready}
 	for i, m := range ctx.Machines {
 		s.ready[i] = m.ExpectedReady(ctx.Now, ctx.PET)
 	}
@@ -149,20 +283,21 @@ func (s *scalarState) commit(ctx *Context, t *task.Task, mi int) {
 	s.ready[mi] += ctx.PET.EstMean(t.Type, mi)
 }
 
-// probState tracks machine tail free-time PMFs for the robustness-based
-// heuristics (MOC, PAM, PAMF), updated incrementally on commit.
+// probState binds one mapping event to the (persistent) evaluation cache
+// for the robustness-based heuristics (MOC, PAM, PAMF).
 //
 // Phase one needs only two scalars per (task, machine) pair — success
 // probability and expected machine-free time — which the PET's prefix-sum
-// profiles yield in O(|tail|) without materializing a convolution
-// (pmf.DropSuccess / pmf.DropExpectedFree). Full convolutions happen only
-// when a pair is committed, to produce the machine's next tail PMF.
-// Evaluations are additionally cached per task and invalidated per machine
-// by generation counter, since a commit perturbs exactly one tail.
+// profiles yield in one O(|tail|) scan without materializing a convolution
+// (pmf.DropEval). Full convolutions happen only when a pair is committed,
+// to produce the machine's next tail PMF. Evaluations are cached per task
+// in the EvalCache and invalidated per machine by queue version, since a
+// commit perturbs exactly one tail.
 type probState struct {
-	tails []*pmf.PMF
-	gen   []uint32
-	cache map[*task.Task]*taskEval
+	cache *EvalCache
+	tails []*pmf.PMF // == cache.tails, re-sliced for this event
+	arena *pmf.Arena
+	naive bool
 }
 
 // fastEval is a cached phase-one evaluation of one (task, machine) pair.
@@ -171,41 +306,86 @@ type fastEval struct {
 	expFree float64
 }
 
-type taskEval struct {
-	res []fastEval
-	gen []uint32
-	has []bool
-}
-
 func newProbState(ctx *Context) *probState {
-	s := &probState{
-		tails: make([]*pmf.PMF, len(ctx.Machines)),
-		gen:   make([]uint32, len(ctx.Machines)),
-		cache: make(map[*task.Task]*taskEval),
+	c := ctx.Cache
+	if c == nil {
+		c = NewEvalCache()
 	}
+	n := len(ctx.Machines)
+	if cap(c.tails) < n {
+		c.tails = make([]*pmf.PMF, n)
+		c.stamps = make([]uint64, n)
+		c.memo = make([]tailMemo, n)
+	}
+	c.tails = c.tails[:n]
+	c.stamps = c.stamps[:n]
+	c.memo = c.memo[:n]
+	s := &probState{cache: c, tails: c.tails, arena: ctx.Arena, naive: ctx.NaiveEval}
 	for i, m := range ctx.Machines {
-		s.tails[i] = m.FreeTimePMF(ctx.Now, ctx.PET, ctx.Mode, ctx.MaxImpulses)
+		s.tails[i] = c.tailFor(ctx, i, m)
 	}
 	return s
 }
 
-// evaluate returns the (cached) fast evaluation of task t on machine mi.
-func (s *probState) evaluate(ctx *Context, t *task.Task, mi int) fastEval {
-	te := s.cache[t]
-	if te == nil {
-		n := len(ctx.Machines)
-		te = &taskEval{res: make([]fastEval, n), gen: make([]uint32, n), has: make([]bool, n)}
-		s.cache[t] = te
+// tailFor returns machine m's queue-tail PMF for this event, reusing the
+// cross-event memo when the queue version and conditioning key both match
+// (in which case the stamp — and thus every cached evaluation against this
+// machine — stays valid). On a miss the chain is recomputed in the arena,
+// snapshotted into the memo, and the stamp advances.
+func (c *EvalCache) tailFor(ctx *Context, i int, m *machine.Machine) *pmf.PMF {
+	ex := m.Executing()
+	if ex == nil && len(m.Pending()) == 0 {
+		// Empty machine: the tail is an impulse at the clock. Memoizing is
+		// pointless (it changes every tick) and evaluations against it are
+		// O(1) profile lookups anyway.
+		c.memo[i].valid = false
+		c.stamps[i]++
+		return ctx.Arena.Impulse(ctx.Now)
 	}
-	if te.has[mi] && te.gen[mi] == s.gen[mi] {
+	key, hasExec := int64(0), ex != nil
+	if ex != nil {
+		exec := ctx.PET.PMF(ex.Type, m.ID)
+		if tick, ok := exec.FirstImpulseAt(ctx.Now - (ex.Start - ex.Consumed)); ok {
+			key = tick
+		} else {
+			key = -ctx.Now // overdue: conditioned head is Impulse(now)
+		}
+	} else {
+		key = -ctx.Now // idle head with pending work: chain starts at now
+	}
+	e := &c.memo[i]
+	if !ctx.NaiveEval && e.valid && e.ver == m.Version() && e.key == key && e.hasExec == hasExec {
+		return &e.tail
+	}
+	t := m.TailPMF(ctx.Arena, ctx.Now, ctx.PET, ctx.Mode, ctx.MaxImpulses)
+	e.tail.CopyFrom(t)
+	e.valid, e.ver, e.key, e.hasExec = true, m.Version(), key, hasExec
+	c.stamps[i]++
+	return &e.tail
+}
+
+// compute is the uncached phase-one evaluation of task t on machine mi.
+func (s *probState) compute(ctx *Context, t *task.Task, mi int) fastEval {
+	prof := ctx.PET.Profile(t.Type, mi)
+	success, expFree := pmf.DropEval(s.tails[mi], prof, t.Deadline, ctx.Mode)
+	return fastEval{success: success, expFree: expFree}
+}
+
+// evaluate returns the (cached) fast evaluation of task t on machine mi. A
+// cache slot is valid while machine mi's tail stamp is unchanged — a
+// commit bumps exactly one machine's stamp (invalidating one column), and
+// across events the stamp only moves when the tail memo misses.
+func (s *probState) evaluate(ctx *Context, t *task.Task, mi int) fastEval {
+	if s.naive {
+		return s.compute(ctx, t, mi)
+	}
+	te := s.cache.row(t.ID, len(ctx.Machines))
+	stamp := s.cache.stamps[mi]
+	if te.has[mi] && te.ver[mi] == stamp {
 		return te.res[mi]
 	}
-	prof := ctx.PET.Profile(t.Type, mi)
-	r := fastEval{
-		success: pmf.DropSuccess(s.tails[mi], prof, t.Deadline),
-		expFree: pmf.DropExpectedFree(s.tails[mi], prof, t.Deadline, ctx.Mode),
-	}
-	te.res[mi], te.gen[mi], te.has[mi] = r, s.gen[mi], true
+	r := s.compute(ctx, t, mi)
+	te.res[mi], te.ver[mi], te.has[mi] = r, stamp, true
 	return r
 }
 
@@ -237,17 +417,18 @@ func (s *probState) bestByRobustness(ctx *Context, t *task.Task) (mi int, ev fas
 	return best, bestEv, true
 }
 
-// commit enqueues t on machine mi, folds its execution into the tail with
-// one full dropping-aware convolution, and invalidates cached evaluations
-// against that machine.
+// commit enqueues t on machine mi and folds its execution into the tail
+// with one full dropping-aware convolution. Enqueue bumps the machine's
+// queue version, which is what invalidates cached evaluations against this
+// machine — no explicit invalidation pass is needed.
 func (s *probState) commit(ctx *Context, t *task.Task, mi int) {
 	if err := ctx.Machines[mi].Enqueue(t); err != nil {
 		panic(fmt.Sprintf("heuristics: commit to full machine %d: %v", mi, err))
 	}
-	res := pmf.ConvolveDrop(s.tails[mi], ctx.PET.PMF(t.Type, mi), t.Deadline, ctx.Mode)
-	s.tails[mi] = pmf.Compact(res.Free, ctx.MaxImpulses)
-	s.gen[mi]++
-	delete(s.cache, t)
+	res := s.arena.ConvolveDrop(s.tails[mi], ctx.PET.PMF(t.Type, mi), t.Deadline, ctx.Mode)
+	s.tails[mi] = s.arena.Compact(res.Free, ctx.MaxImpulses)
+	s.cache.stamps[mi]++ // one column of cached evaluations dies, no more
+	s.cache.Forget(t.ID)
 }
 
 // removeTask deletes the element at index i from ts, order-preserving.

@@ -45,10 +45,11 @@ type mocPair struct {
 func (h MOC) Map(ctx *Context, batch []*task.Task) Result {
 	var out Result
 	st := newProbState(ctx)
-	remaining := append([]*task.Task(nil), batch...)
+	remaining := append(st.cache.remaining[:0], batch...)
+	defer func() { st.cache.remaining = remaining[:0] }()
 	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
 		// Phase 1: best machine per task by robustness.
-		pairs := make([]mocPair, 0, len(remaining))
+		pairs := st.cache.mpairs[:0]
 		for i, t := range remaining {
 			mi, ev, ok := st.bestByRobustness(ctx, t)
 			if !ok {
@@ -56,6 +57,7 @@ func (h MOC) Map(ctx *Context, batch []*task.Task) Result {
 			}
 			pairs = append(pairs, mocPair{taskIdx: i, machine: mi, ev: ev})
 		}
+		st.cache.mpairs = pairs[:0]
 		if len(pairs) == 0 {
 			break
 		}
@@ -110,8 +112,8 @@ func (h MOC) Map(ctx *Context, batch []*task.Task) Result {
 			bestTotal := -1.0
 			for pick, cand := range top {
 				tc := remaining[cand.taskIdx]
-				full := pmf.ConvolveDrop(st.tails[cand.machine], ctx.PET.PMF(tc.Type, cand.machine), tc.Deadline, ctx.Mode)
-				tail := pmf.Compact(full.Free, ctx.MaxImpulses)
+				full := st.arena.ConvolveDrop(st.tails[cand.machine], ctx.PET.PMF(tc.Type, cand.machine), tc.Deadline, ctx.Mode)
+				tail := st.arena.Compact(full.Free, ctx.MaxImpulses)
 				total := cand.ev.success
 				for other, p := range top {
 					if other == pick {

@@ -48,12 +48,22 @@ type pamPair struct {
 	ev      fastEval
 }
 
+// expFreeTieEps is the absolute tolerance under which two expected
+// machine-free times count as tied in phase two. Expected-free values are
+// sums of tail-scan products whose exact bits depend on evaluation
+// history; an epsilon band (plus the deterministic expected-execution and
+// task-ID orderings below it) guarantees cached and freshly computed
+// evaluations pick the same winner.
+const expFreeTieEps = 1e-9
+
 // pruningMap is the shared PAM/PAMF mapping loop.
 func pruningMap(ctx *Context, batch []*task.Task) Result {
 	var out Result
 	st := newProbState(ctx)
-	remaining := append([]*task.Task(nil), batch...)
-	deferred := make(map[*task.Task]bool)
+	remaining := append(st.cache.remaining[:0], batch...)
+	defer func() { st.cache.remaining = remaining[:0] }()
+	deferred := st.cache.deferred
+	clear(deferred)
 
 	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
 		// Phase 1: best machine by robustness; defer sub-threshold tasks.
@@ -67,8 +77,8 @@ func pruningMap(ctx *Context, batch []*task.Task) Result {
 				continue
 			}
 			if ctx.Pruner != nil && ctx.Pruner.ShouldDefer(ev.success, ctx.sufferage(t.Type)) {
-				if !deferred[t] {
-					deferred[t] = true
+				if !deferred[t.ID] {
+					deferred[t.ID] = true
 					out.Deferred = append(out.Deferred, t)
 					t.Defers++
 				}
@@ -77,7 +87,7 @@ func pruningMap(ctx *Context, batch []*task.Task) Result {
 			kept = append(kept, t)
 		}
 		remaining = kept
-		pairs := make([]pamPair, 0, len(remaining))
+		pairs := st.cache.pairs[:0]
 		for i, t := range remaining {
 			mi, ev, ok := st.bestByRobustness(ctx, t)
 			if !ok {
@@ -85,20 +95,24 @@ func pruningMap(ctx *Context, batch []*task.Task) Result {
 			}
 			pairs = append(pairs, pamPair{taskIdx: i, machine: mi, ev: ev})
 		}
+		st.cache.pairs = pairs[:0]
 		if len(pairs) == 0 {
 			break
 		}
-		// Phase 2: commit the minimum expected-completion pair; ties break
-		// by shortest expected execution time.
+		// Phase 2: commit the minimum expected-completion pair. Ties — judged
+		// within expFreeTieEps, not by exact float equality — break by
+		// shortest expected execution time, then by task ID, so the winner
+		// never depends on the float dust of evaluation order.
 		best := 0
 		for i := 1; i < len(pairs); i++ {
 			a, b := pairs[i], pairs[best]
 			switch {
-			case a.ev.expFree < b.ev.expFree:
+			case a.ev.expFree < b.ev.expFree-expFreeTieEps:
 				best = i
-			case a.ev.expFree == b.ev.expFree:
+			case a.ev.expFree < b.ev.expFree+expFreeTieEps:
 				ta, tb := remaining[a.taskIdx], remaining[b.taskIdx]
-				if ctx.PET.EstMean(ta.Type, a.machine) < ctx.PET.EstMean(tb.Type, b.machine) {
+				ea, eb := ctx.PET.EstMean(ta.Type, a.machine), ctx.PET.EstMean(tb.Type, b.machine)
+				if ea < eb || (ea == eb && ta.ID < tb.ID) {
 					best = i
 				}
 			}

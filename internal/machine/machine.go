@@ -30,7 +30,17 @@ type Machine struct {
 
 	busyTicks int64
 	runStart  int64
+
+	// version counts queue mutations (enqueue, start, finish, removal).
+	// Mapping heuristics key their per-(task, machine) evaluation caches on
+	// it: a cached evaluation is valid exactly while the machine's version
+	// is unchanged, so committing an assignment invalidates only the
+	// committed machine's column.
+	version uint64
 }
+
+// Version returns the monotonically increasing queue-mutation counter.
+func (m *Machine) Version() uint64 { return m.version }
 
 // New creates an idle machine.
 func New(id int, name string, queueCap int, price float64) *Machine {
@@ -71,6 +81,7 @@ func (m *Machine) Enqueue(t *task.Task) error {
 	t.State = task.StateQueued
 	t.Machine = m.ID
 	m.pending = append(m.pending, t)
+	m.version++
 	return nil
 }
 
@@ -85,6 +96,7 @@ func (m *Machine) StartNext(now int64) *task.Task {
 	m.pending = m.pending[:len(m.pending)-1]
 	m.executing = t
 	m.runStart = now
+	m.version++
 	t.State = task.StateRunning
 	t.Start = now
 	return t
@@ -100,6 +112,7 @@ func (m *Machine) FinishExecuting(now int64) *task.Task {
 	t := m.executing
 	m.busyTicks += now - m.runStart
 	m.executing = nil
+	m.version++
 	return t
 }
 
@@ -109,6 +122,7 @@ func (m *Machine) RemovePending(t *task.Task) bool {
 	for i, q := range m.pending {
 		if q == t {
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.version++
 			return true
 		}
 	}
@@ -198,11 +212,35 @@ func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode,
 // mappers convolve candidate tasks against). For an empty machine it is an
 // impulse at now.
 func (m *Machine) FreeTimePMF(now int64, matrix *pet.Matrix, mode pmf.DropMode, maxImpulses int) *pmf.PMF {
-	views := m.AnalyzeQueue(now, matrix, mode, maxImpulses)
-	if len(views) == 0 {
-		return pmf.Impulse(now)
+	return m.TailPMF(nil, now, matrix, mode, maxImpulses)
+}
+
+// TailPMF is FreeTimePMF with every intermediate distribution allocated in
+// the arena (nil falls back to the heap): it walks the same completion
+// chain as AnalyzeQueue without materializing per-task views, which is all
+// a mapping event needs. The result is valid until the arena's next Reset.
+func (m *Machine) TailPMF(a *pmf.Arena, now int64, matrix *pet.Matrix, mode pmf.DropMode, maxImpulses int) *pmf.PMF {
+	prev := a.Impulse(now)
+	if m.executing != nil {
+		t := m.executing
+		// The run began at t.Start with t.Consumed ticks already banked from
+		// earlier (preempted) runs: completion = start - consumed + total
+		// duration, conditioned on not having finished yet.
+		free := a.ShiftConditioned(matrix.PMF(t.Type, m.ID), t.Start-t.Consumed, now)
+		if mode == pmf.Evict {
+			free = a.EvictTail(free, t.Deadline)
+		}
+		prev = a.Compact(free, maxImpulses)
 	}
-	return views[len(views)-1].Completion
+	for _, t := range m.pending {
+		exec := matrix.PMF(t.Type, m.ID)
+		if t.Consumed > 0 {
+			exec = exec.RemainingAfter(t.Consumed) // preempted: partial credit
+		}
+		res := a.ConvolveDrop(prev, exec, t.Deadline, mode)
+		prev = a.Compact(res.Free, maxImpulses)
+	}
+	return prev
 }
 
 // ExpectedReady returns the scalar expected tick at which the machine could
@@ -213,8 +251,7 @@ func (m *Machine) ExpectedReady(now int64, matrix *pet.Matrix) float64 {
 	ready := float64(now)
 	if m.executing != nil {
 		t := m.executing
-		rem := matrix.PMF(t.Type, m.ID).Shift(t.Start - t.Consumed).ConditionAtLeast(now)
-		ready = rem.Mean()
+		ready = pmf.CondMeanShifted(matrix.PMF(t.Type, m.ID), t.Start-t.Consumed, now)
 	}
 	for _, t := range m.pending {
 		if t.Consumed > 0 {
@@ -233,4 +270,5 @@ func (m *Machine) Reset() {
 	m.pending = nil
 	m.busyTicks = 0
 	m.runStart = 0
+	m.version++
 }

@@ -1,0 +1,172 @@
+package pmf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPMFs builds a deterministic (tail, exec) pair shaped like the hot
+// path: a compacted queue tail (sparse impulses over a wide dense support)
+// and a PET-like execution profile.
+func benchPMFs() (tail, exec *PMF) {
+	r := rand.New(rand.NewSource(42))
+	wide := make([]float64, 600)
+	for i := 0; i < 120; i++ {
+		wide[r.Intn(len(wide))] = r.Float64()
+	}
+	tail = New(100, wide)
+	tail.Normalize()
+	tail = Compact(tail, DefaultMaxImpulses)
+
+	ex := make([]float64, 300)
+	for i := 0; i < 64; i++ {
+		ex[r.Intn(len(ex))] = r.Float64()
+	}
+	exec = New(5, ex)
+	exec.Normalize()
+	exec = Compact(exec, DefaultMaxImpulses)
+	return tail, exec
+}
+
+// TestConvolveIntoAllocFree: once the destination scratch is warm, the
+// ConvolveInto fast path must not touch the heap at all.
+func TestConvolveIntoAllocFree(t *testing.T) {
+	tail, exec := benchPMFs()
+	dst := &PMF{}
+	ConvolveInto(dst, tail, exec) // warm the scratch buffer
+	if n := testing.AllocsPerRun(100, func() {
+		ConvolveInto(dst, tail, exec)
+	}); n != 0 {
+		t.Errorf("ConvolveInto allocates %.1f objects per call, want 0", n)
+	}
+}
+
+// TestConvolveDropIntoAllocFree: same guarantee for the dropping-aware
+// scratch convolution, in both dropping modes.
+func TestConvolveDropIntoAllocFree(t *testing.T) {
+	tail, exec := benchPMFs()
+	deadline := tail.Start() + 150
+	for _, mode := range []DropMode{PendingDrop, Evict} {
+		dst := &PMF{}
+		ConvolveDropInto(dst, tail, exec, deadline, mode)
+		if n := testing.AllocsPerRun(100, func() {
+			ConvolveDropInto(dst, tail, exec, deadline, mode)
+		}); n != 0 {
+			t.Errorf("%v: ConvolveDropInto allocates %.1f objects per call, want 0", mode, n)
+		}
+	}
+}
+
+// TestArenaConvolveDropAllocFree: the arena path — one ConvolveDrop +
+// Compact cycle per Reset, the shape of a mapping-event commit — must be
+// allocation-free once the arena holds its block.
+func TestArenaConvolveDropAllocFree(t *testing.T) {
+	tail, exec := benchPMFs()
+	deadline := tail.Start() + 150
+	a := NewArena()
+	res := a.ConvolveDrop(tail, exec, deadline, Evict)
+	_ = a.Compact(res.Free, DefaultMaxImpulses)
+	a.Reset() // retains one block: steady state reached
+	if n := testing.AllocsPerRun(100, func() {
+		r := a.ConvolveDrop(tail, exec, deadline, Evict)
+		_ = a.Compact(r.Free, DefaultMaxImpulses)
+		a.Reset()
+	}); n != 0 {
+		t.Errorf("arena ConvolveDrop+Compact allocates %.1f objects per cycle, want 0", n)
+	}
+}
+
+// TestCloneDeepCopiesSparseIndex: Clone is the documented escape hatch
+// for PMFs that must outlive an arena Reset, so it cannot share the
+// sparse index backing array — that may live in a pooled arena block.
+func TestCloneDeepCopiesSparseIndex(t *testing.T) {
+	tail, _ := benchPMFs() // compacted: carries a sparse index
+	if tail.nz == nil {
+		t.Fatal("premise broken: compacted PMF should carry a sparse index")
+	}
+	q := tail.Clone()
+	if q.nz == nil {
+		t.Fatal("clone lost the sparse index")
+	}
+	if &q.nz[0] == &tail.nz[0] {
+		t.Fatal("clone shares the sparse index backing array with the original")
+	}
+}
+
+// TestConvolveIntoMatchesConvolve: the scratch path must agree with the
+// allocating path impulse for impulse.
+func TestConvolveIntoMatchesConvolve(t *testing.T) {
+	tail, exec := benchPMFs()
+	want := Convolve(tail, exec)
+	dst := &PMF{}
+	ConvolveInto(dst, tail, exec)
+	if !ApproxEqual(want, dst, 0) {
+		t.Fatalf("ConvolveInto disagrees with Convolve:\nwant %v\ngot  %v", want, dst)
+	}
+	for _, mode := range []DropMode{NoDrop, PendingDrop, Evict} {
+		deadline := tail.Start() + 150
+		res := ConvolveDrop(tail, exec, deadline, mode)
+		d2 := &PMF{}
+		success := ConvolveDropInto(d2, tail, exec, deadline, mode)
+		if success != res.Success {
+			t.Fatalf("%v: success %v != %v", mode, success, res.Success)
+		}
+		if !ApproxEqual(res.Free, d2, 0) {
+			t.Fatalf("%v: ConvolveDropInto free PMF disagrees", mode)
+		}
+	}
+}
+
+// BenchmarkConvolve measures the allocating baseline convolution.
+func BenchmarkConvolve(b *testing.B) {
+	tail, exec := benchPMFs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Convolve(tail, exec)
+	}
+}
+
+// BenchmarkConvolveInto measures the zero-allocation scratch convolution.
+func BenchmarkConvolveInto(b *testing.B) {
+	tail, exec := benchPMFs()
+	dst := &PMF{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConvolveInto(dst, tail, exec)
+	}
+}
+
+// BenchmarkConvolveDrop measures the allocating dropping-aware convolution.
+func BenchmarkConvolveDrop(b *testing.B) {
+	tail, exec := benchPMFs()
+	deadline := tail.Start() + 150
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConvolveDrop(tail, exec, deadline, Evict)
+	}
+}
+
+// BenchmarkConvolveDropInto measures the zero-allocation scratch variant.
+func BenchmarkConvolveDropInto(b *testing.B) {
+	tail, exec := benchPMFs()
+	deadline := tail.Start() + 150
+	dst := &PMF{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConvolveDropInto(dst, tail, exec, deadline, Evict)
+	}
+}
+
+// BenchmarkConvolveDropArena measures the arena path used by the
+// simulator's mapping events (one Reset per iteration, as per event).
+func BenchmarkConvolveDropArena(b *testing.B) {
+	tail, exec := benchPMFs()
+	deadline := tail.Start() + 150
+	a := NewArena()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := a.ConvolveDrop(tail, exec, deadline, Evict)
+		_ = a.Compact(r.Free, DefaultMaxImpulses)
+		a.Reset()
+	}
+}

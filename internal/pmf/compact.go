@@ -7,6 +7,10 @@ package pmf
 // (see the compaction ablation bench).
 const DefaultMaxImpulses = 32
 
+// compactStackGroups is the group count served from stack scratch; larger
+// bounds (ablation sweeps) fall back to a temporary allocation.
+const compactStackGroups = 64
+
 // Compact returns a PMF with at most maxImpulses non-zero impulses,
 // aggregating neighboring impulses into the center-of-mass tick of each
 // group. Total mass is preserved exactly; the mean moves by less than one
@@ -15,12 +19,26 @@ const DefaultMaxImpulses = 32
 // support may remain wide; what is bounded — and what governs convolution
 // cost — is the non-zero impulse count.
 func Compact(p *PMF, maxImpulses int) *PMF {
+	return (*Arena)(nil).Compact(p, maxImpulses)
+}
+
+// Compact is the arena-allocating form of the package-level Compact. When p
+// is already narrow enough it is returned as-is, so the result's lifetime
+// is the shorter of p's and the arena's.
+func (a *Arena) Compact(p *PMF, maxImpulses int) *PMF {
 	if p.IsZero() || maxImpulses <= 0 || len(p.probs) <= maxImpulses {
 		return p
 	}
 	groups := maxImpulses
 	n := len(p.probs)
-	out := &PMF{}
+
+	var tickArr [compactStackGroups]int64
+	var massArr [compactStackGroups]float64
+	ticks, masses := tickArr[:0], massArr[:0]
+	if groups > compactStackGroups {
+		ticks = make([]int64, 0, groups)
+		masses = make([]float64, 0, groups)
+	}
 	for g := 0; g < groups; g++ {
 		lo := g * n / groups
 		hi := (g + 1) * n / groups
@@ -32,8 +50,28 @@ func Compact(p *PMF, maxImpulses int) *PMF {
 		if mass == 0 {
 			continue
 		}
-		t := int64(center/mass + 0.5)
-		out.AddMass(t, mass)
+		ticks = append(ticks, int64(center/mass+0.5))
+		masses = append(masses, mass)
 	}
+	if len(ticks) == 0 {
+		return a.hdr()
+	}
+	// Group centers of mass are nondecreasing (groups partition increasing
+	// index ranges), so the dense output spans [ticks[0], ticks[last]] and
+	// coinciding centers accumulate — exactly the sums sequential AddMass
+	// calls would produce, without the quadratic regrow-and-copy.
+	lo, hi := ticks[0], ticks[len(ticks)-1]
+	buf := a.Floats(int(hi - lo + 1))
+	nz := a.ints(len(ticks))
+	for i, t := range ticks {
+		if buf[t-lo] == 0 {
+			nz = append(nz, int32(t-lo)) // centers coincide only rarely
+		}
+		buf[t-lo] += masses[i]
+	}
+	out := a.hdr()
+	out.start = lo
+	out.probs = buf
+	out.nz = nz
 	return out
 }

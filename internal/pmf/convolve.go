@@ -32,24 +32,94 @@ func (m DropMode) String() string {
 	}
 }
 
+// convolveCore accumulates the plain convolution of prev and exec into out,
+// which must be zeroed and have length >= prev.Len()+exec.Len()-1. Impulse
+// operands take a copy/scale fast path; the generic path skips zero mass.
+func convolveCore(out []float64, prev, exec *PMF) {
+	if len(prev.probs) == 1 {
+		a := prev.probs[0]
+		if a == 1 {
+			copy(out, exec.probs)
+			return
+		}
+		for j, b := range exec.probs {
+			out[j] = a * b
+		}
+		return
+	}
+	if len(exec.probs) == 1 {
+		b := exec.probs[0]
+		if b == 1 {
+			copy(out, prev.probs)
+			return
+		}
+		for i, a := range prev.probs {
+			out[i] = a * b
+		}
+		return
+	}
+	if prev.nz != nil {
+		for _, off := range prev.nz {
+			accumRow(out[off:int(off)+len(exec.probs)], prev.probs[off], exec)
+		}
+		return
+	}
+	for i, a := range prev.probs {
+		if a == 0 {
+			continue
+		}
+		accumRow(out[i:i+len(exec.probs)], a, exec)
+	}
+}
+
+// accumRow adds a·exec into row, walking only exec's non-zero impulses
+// when the sparse index is available. Skipping exact zeros (and scaling by
+// a) is bit-identical to the dense accumulation it replaces.
+func accumRow(row []float64, a float64, exec *PMF) {
+	if exec.nz != nil {
+		for _, j := range exec.nz {
+			row[j] += a * exec.probs[j]
+		}
+		return
+	}
+	for j, b := range exec.probs {
+		if b != 0 {
+			row[j] += a * b
+		}
+	}
+}
+
 // Convolve returns the plain convolution of two PMFs (Eq. 2): the
 // distribution of the sum of the two independent random variables. This is
 // the completion time of a task whose execution time is exec and whose
 // start time is distributed as prev, when no dropping can occur.
 func Convolve(prev, exec *PMF) *PMF {
+	return (*Arena)(nil).Convolve(prev, exec)
+}
+
+// Convolve is the arena-allocating form of the package-level Convolve: the
+// result is valid until the arena's next Reset.
+func (a *Arena) Convolve(prev, exec *PMF) *PMF {
 	if prev.IsZero() || exec.IsZero() {
-		return &PMF{}
+		return a.hdr()
 	}
-	out := make([]float64, len(prev.probs)+len(exec.probs)-1)
-	for i, a := range prev.probs {
-		if a == 0 {
-			continue
-		}
-		for j, b := range exec.probs {
-			out[i+j] += a * b
-		}
+	out := a.Floats(len(prev.probs) + len(exec.probs) - 1)
+	convolveCore(out, prev, exec)
+	return a.wrap(prev.start+exec.start, out)
+}
+
+// ConvolveInto computes Convolve(prev, exec) into dst, reusing dst's
+// backing storage when its capacity suffices — the steady state allocates
+// nothing (asserted by TestConvolveIntoAllocFree). dst must not alias prev
+// or exec.
+func ConvolveInto(dst, prev, exec *PMF) {
+	if prev.IsZero() || exec.IsZero() {
+		dst.adopt(0, dst.probs[:0])
+		return
 	}
-	return New(prev.start+exec.start, out)
+	buf := dst.scratch(len(prev.probs) + len(exec.probs) - 1)
+	convolveCore(buf, prev, exec)
+	dst.adopt(prev.start+exec.start, buf)
 }
 
 // Result carries the outcome of a dropping-aware convolution. Free is the
@@ -66,38 +136,13 @@ type Result struct {
 	Success float64
 }
 
-// ConvolveDrop convolves the predecessor's machine-free-time PMF (prev)
-// with a task's execution-time PMF (exec) under the given dropping mode and
-// the task's deadline.
-//
-// Semantics per mode:
-//
-//   - NoDrop: Free = prev * exec; Success = CDF(Free, deadline).
-//
-//   - PendingDrop (Eqs. 3–4): execution only begins for the part of prev
-//     strictly before the deadline ("helper" Eq. 3 discards impulses of
-//     PCT(i-1) at or after δi). Mass of prev at t >= deadline is carried
-//     into Free unchanged — the task is dropped before starting and the
-//     machine frees up when the predecessor finishes.
-//
-//   - Evict (Eq. 5): as PendingDrop, but execution mass that would land
-//     strictly after the deadline collapses onto an impulse at the deadline:
-//     the task is killed at δi and the machine is free at δi. Completion
-//     exactly at the deadline still counts as success (Eq. 1 uses t <= δi).
-func ConvolveDrop(prev, exec *PMF, deadline int64, mode DropMode) Result {
-	if mode == NoDrop {
-		free := Convolve(prev, exec)
-		return Result{Free: free, Success: free.SuccessProb(deadline)}
-	}
-	if prev.IsZero() || exec.IsZero() {
-		return Result{Free: &PMF{}}
-	}
-
-	// The output support spans execution completions (start+exec for
-	// starts strictly before the deadline) plus carried predecessor mass
-	// (prev ticks at or after the deadline). One dense buffer covers both.
-	outLo := prev.start + exec.start
-	outHi := prev.End() + exec.End()
+// dropBounds computes the dense output support of a dropping-aware
+// convolution. The support spans execution completions (start+exec for
+// starts strictly before the deadline) plus carried predecessor mass (prev
+// ticks at or after the deadline); one dense buffer covers both.
+func dropBounds(prev, exec *PMF, deadline int64) (outLo, outHi int64) {
+	outLo = prev.start + exec.start
+	outHi = prev.End() + exec.End()
 	if prev.End() > outHi {
 		outHi = prev.End()
 	}
@@ -112,23 +157,36 @@ func ConvolveDrop(prev, exec *PMF, deadline int64, mode DropMode) Result {
 		// land on time, but Evict still needs the deadline slot to exist.
 		outLo = deadline
 	}
-	buf := make([]float64, outHi-outLo+1)
+	return outLo, outHi
+}
 
+// convolveDropCore runs the PendingDrop/Evict convolution into buf (zeroed,
+// spanning [outLo, outHi] per dropBounds) and returns the success
+// probability. It is the single implementation behind ConvolveDrop,
+// ConvolveDropInto, and the arena variant.
+func convolveDropCore(buf []float64, outLo int64, prev, exec *PMF, deadline int64, mode DropMode) float64 {
 	// Execution part (Eq. 3's helper f): convolve only predecessor
 	// completions strictly before the deadline.
-	for i, a := range prev.probs {
-		if a == 0 {
-			continue
-		}
-		st := prev.start + int64(i) // predecessor finishes / task would start
-		if st >= deadline {
-			continue // the task is dropped before starting
-		}
-		base := st + exec.start - outLo
-		for j, b := range exec.probs {
-			if b != 0 {
-				buf[base+int64(j)] += a * b
+	if prev.nz != nil {
+		for _, off := range prev.nz {
+			st := prev.start + int64(off) // predecessor finishes / task starts
+			if st >= deadline {
+				continue // the task is dropped before starting
 			}
+			base := st + exec.start - outLo
+			accumRow(buf[base:base+int64(len(exec.probs))], prev.probs[off], exec)
+		}
+	} else {
+		for i, a := range prev.probs {
+			if a == 0 {
+				continue
+			}
+			st := prev.start + int64(i)
+			if st >= deadline {
+				continue
+			}
+			base := st + exec.start - outLo
+			accumRow(buf[base:base+int64(len(exec.probs))], a, exec)
 		}
 	}
 
@@ -162,17 +220,84 @@ func ConvolveDrop(prev, exec *PMF, deadline int64, mode DropMode) Result {
 
 	// Carried predecessor mass (Eq. 4's c_pend(i-1)(t) term): the task
 	// never starts; the machine frees up when the predecessor finishes.
-	for i, a := range prev.probs {
-		if a == 0 {
-			continue
+	if prev.nz != nil {
+		for _, off := range prev.nz {
+			st := prev.start + int64(off)
+			if st >= deadline {
+				buf[st-outLo] += prev.probs[off]
+			}
 		}
-		st := prev.start + int64(i)
-		if st >= deadline {
-			buf[st-outLo] += a
+	} else {
+		for i, a := range prev.probs {
+			if a == 0 {
+				continue
+			}
+			st := prev.start + int64(i)
+			if st >= deadline {
+				buf[st-outLo] += a
+			}
 		}
 	}
+	return success
+}
 
-	return Result{Free: wrap(outLo, buf), Success: success}
+// ConvolveDrop convolves the predecessor's machine-free-time PMF (prev)
+// with a task's execution-time PMF (exec) under the given dropping mode and
+// the task's deadline.
+//
+// Semantics per mode:
+//
+//   - NoDrop: Free = prev * exec; Success = CDF(Free, deadline).
+//
+//   - PendingDrop (Eqs. 3–4): execution only begins for the part of prev
+//     strictly before the deadline ("helper" Eq. 3 discards impulses of
+//     PCT(i-1) at or after δi). Mass of prev at t >= deadline is carried
+//     into Free unchanged — the task is dropped before starting and the
+//     machine frees up when the predecessor finishes.
+//
+//   - Evict (Eq. 5): as PendingDrop, but execution mass that would land
+//     strictly after the deadline collapses onto an impulse at the deadline:
+//     the task is killed at δi and the machine is free at δi. Completion
+//     exactly at the deadline still counts as success (Eq. 1 uses t <= δi).
+func ConvolveDrop(prev, exec *PMF, deadline int64, mode DropMode) Result {
+	return (*Arena)(nil).ConvolveDrop(prev, exec, deadline, mode)
+}
+
+// ConvolveDrop is the arena-allocating form of the package-level
+// ConvolveDrop: the Result's Free PMF is valid until the arena's next
+// Reset.
+func (a *Arena) ConvolveDrop(prev, exec *PMF, deadline int64, mode DropMode) Result {
+	if mode == NoDrop {
+		free := a.Convolve(prev, exec)
+		return Result{Free: free, Success: free.SuccessProb(deadline)}
+	}
+	if prev.IsZero() || exec.IsZero() {
+		return Result{Free: a.hdr()}
+	}
+	outLo, outHi := dropBounds(prev, exec, deadline)
+	buf := a.Floats(int(outHi - outLo + 1))
+	success := convolveDropCore(buf, outLo, prev, exec, deadline, mode)
+	return Result{Free: a.wrap(outLo, buf), Success: success}
+}
+
+// ConvolveDropInto is ConvolveDrop writing the Free distribution into dst
+// (caller-owned scratch, reused across calls — zero heap allocations in the
+// steady state) and returning the success probability. dst must not alias
+// prev or exec.
+func ConvolveDropInto(dst *PMF, prev, exec *PMF, deadline int64, mode DropMode) float64 {
+	if mode == NoDrop {
+		ConvolveInto(dst, prev, exec)
+		return dst.SuccessProb(deadline)
+	}
+	if prev.IsZero() || exec.IsZero() {
+		dst.adopt(0, dst.probs[:0])
+		return 0
+	}
+	outLo, outHi := dropBounds(prev, exec, deadline)
+	buf := dst.scratch(int(outHi - outLo + 1))
+	success := convolveDropCore(buf, outLo, prev, exec, deadline, mode)
+	dst.adopt(outLo, buf)
+	return success
 }
 
 // ChainCompletion computes the completion Result for a whole FCFS queue:

@@ -22,6 +22,12 @@ import (
 type PMF struct {
 	start int64
 	probs []float64
+	// nz, when non-nil, lists the offsets of all non-zero probabilities in
+	// ascending order. Compact populates it (a compacted PMF has few
+	// impulses spread over a wide dense support, so scans that honor nz
+	// skip the interior zeros); any mutation that can change the zero
+	// pattern resets it to nil. Scaling (Normalize) preserves it.
+	nz []int32
 }
 
 // New builds a PMF whose first impulse sits at start. The probs slice is
@@ -64,6 +70,34 @@ func wrap(start int64, probs []float64) *PMF {
 // Impulse returns a PMF with all mass concentrated at tick t.
 func Impulse(t int64) *PMF {
 	return &PMF{start: t, probs: []float64{1}}
+}
+
+// scratch returns a zeroed length-n slice reusing p's backing storage when
+// its capacity suffices, growing (one allocation) otherwise. It is the
+// storage half of the ConvolveInto/ConvolveDropInto scratch API.
+func (p *PMF) scratch(n int) []float64 {
+	buf := p.probs[:0]
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// adopt points p at probs (taking ownership), trimming trailing zeros.
+// Leading zeros are kept deliberately: a PMF may start at a zero slot
+// (Start documents this), and re-slicing the front would surrender the
+// prefix of the backing array — scratch could then never reuse it and the
+// Into fast paths would allocate on every call.
+func (p *PMF) adopt(start int64, probs []float64) {
+	hi := len(probs)
+	for hi > 0 && probs[hi-1] == 0 {
+		hi--
+	}
+	p.start = start
+	p.probs = probs[:hi]
+	p.nz = nil
 }
 
 // FromSamples bins real-valued samples into nbins histogram bins and
@@ -163,14 +197,62 @@ func (p *PMF) Normalize() {
 	}
 }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent deep copy. The sparse index is copied too:
+// sharing it would tie the clone to the original's arena block, and Clone
+// is exactly the escape hatch for outliving an arena Reset.
 func (p *PMF) Clone() *PMF {
 	if p.IsZero() {
 		return &PMF{}
 	}
 	q := &PMF{start: p.start, probs: make([]float64, len(p.probs))}
 	copy(q.probs, p.probs)
+	if p.nz != nil {
+		q.nz = make([]int32, len(p.nz))
+		copy(q.nz, p.nz)
+	}
 	return q
+}
+
+// CopyFrom makes dst an independent deep copy of src, reusing dst's
+// backing storage when possible. It exists so long-lived caches (the
+// heuristics tail memo) can snapshot arena-backed PMFs without allocating
+// in the steady state.
+func (dst *PMF) CopyFrom(src *PMF) {
+	dst.start = src.start
+	if cap(dst.probs) < len(src.probs) {
+		dst.probs = make([]float64, len(src.probs))
+	}
+	dst.probs = dst.probs[:len(src.probs)]
+	copy(dst.probs, src.probs)
+	if src.nz == nil {
+		dst.nz = nil
+		return
+	}
+	if cap(dst.nz) < len(src.nz) {
+		dst.nz = make([]int32, len(src.nz))
+	}
+	dst.nz = dst.nz[:len(src.nz)]
+	copy(dst.nz, src.nz)
+}
+
+// FirstImpulseAt returns the tick of the first non-zero impulse at or
+// after tick t, with ok false when no mass lies there. The heuristics tail
+// memo uses it to detect when advancing the clock actually changes a
+// conditioned completion distribution.
+func (p *PMF) FirstImpulseAt(t int64) (tick int64, ok bool) {
+	if p.IsZero() {
+		return 0, false
+	}
+	i := int64(0)
+	if t > p.start {
+		i = t - p.start
+	}
+	for ; i < int64(len(p.probs)); i++ {
+		if p.probs[i] != 0 {
+			return p.start + i, true
+		}
+	}
+	return 0, false
 }
 
 // Shift returns a copy of p translated by dt ticks. Shifting a PET by a
@@ -232,16 +314,37 @@ func (p *PMF) Variance() float64 {
 
 // Skewness returns the (population) skewness of the distribution; 0 when
 // undefined. The pruner consumes the bounded version via BoundedSkewness.
+// The accumulation order mirrors stats.WeightedMoments exactly (so results
+// are bit-identical to the slice-based formulation) but materializes no
+// support slice — this runs once per queued task per pruning pass.
 func (p *PMF) Skewness() float64 {
 	if p.IsZero() {
 		return 0
 	}
-	xs := make([]float64, len(p.probs))
-	for i := range p.probs {
-		xs[i] = float64(p.start + int64(i))
+	var w float64
+	for _, v := range p.probs {
+		w += v
 	}
-	_, _, sk := stats.WeightedMoments(xs, p.probs)
-	return sk
+	if w == 0 {
+		return 0
+	}
+	var mean float64
+	for i, v := range p.probs {
+		mean += v * float64(p.start+int64(i))
+	}
+	mean /= w
+	var m2, m3 float64
+	for i, v := range p.probs {
+		d := float64(p.start+int64(i)) - mean
+		m2 += v * d * d
+		m3 += v * d * d * d
+	}
+	m2 /= w
+	m3 /= w
+	if m2 <= 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
 }
 
 // BoundedSkewness returns Skewness clamped into [-1, 1], the paper's
@@ -318,6 +421,7 @@ func (p *PMF) TruncateAfter(t int64) float64 {
 			m += v
 		}
 		p.probs = nil
+		p.nz = nil
 		return m
 	}
 	var removed float64
@@ -326,6 +430,7 @@ func (p *PMF) TruncateAfter(t int64) float64 {
 		removed += v
 	}
 	p.probs = p.probs[:cut]
+	p.nz = nil
 	return removed
 }
 
@@ -334,6 +439,7 @@ func (p *PMF) AddMass(t int64, w float64) {
 	if w == 0 {
 		return
 	}
+	p.nz = nil
 	if w < 0 {
 		panic("pmf: AddMass with negative mass")
 	}

@@ -9,6 +9,7 @@ package pmf
 type Profile struct {
 	p    *PMF
 	cdf  []float64 // cdf[i]  = P(X <= start+i)
+	ccdf []float64 // ccdf[i] = 1 − cdf[i]: suffix (deadline-miss) mass
 	pex  []float64 // pex[i]  = E[X · 1(X <= start+i)]
 	mean float64
 }
@@ -18,6 +19,7 @@ type Profile struct {
 func NewProfile(p *PMF) *Profile {
 	pr := &Profile{p: p}
 	pr.cdf = make([]float64, len(p.probs))
+	pr.ccdf = make([]float64, len(p.probs))
 	pr.pex = make([]float64, len(p.probs))
 	var c, e float64
 	for i, v := range p.probs {
@@ -25,6 +27,7 @@ func NewProfile(p *PMF) *Profile {
 		c += v
 		e += v * x
 		pr.cdf[i] = c
+		pr.ccdf[i] = 1 - c
 		pr.pex[i] = e
 	}
 	pr.mean = p.Mean()
@@ -61,9 +64,25 @@ func (pr *Profile) PartialMean(t int64) float64 {
 	return pr.pex[i]
 }
 
+// CCDF returns the suffix mass P(X > t) = 1 − CDF(t) — the probability a
+// task whose execution profile is pr misses a deadline t ticks away — as
+// a precomputed O(1) lookup. For a normalized profile the table stores the
+// expression 1 − CDF(t) exactly; below (or without) support the result
+// saturates at 1, matching 1 − CDF(t) there too.
+func (pr *Profile) CCDF(t int64) float64 {
+	if len(pr.ccdf) == 0 || t < pr.p.start {
+		return 1
+	}
+	i := t - pr.p.start
+	if i >= int64(len(pr.ccdf)) {
+		i = int64(len(pr.ccdf)) - 1
+	}
+	return pr.ccdf[i]
+}
+
 // MeanCappedAt returns E[min(X, d)] = E[X·1(X<=d)] + d·P(X>d).
 func (pr *Profile) MeanCappedAt(d int64) float64 {
-	return pr.PartialMean(d) + float64(d)*(1-pr.CDF(d))
+	return pr.PartialMean(d) + float64(d)*pr.CCDF(d)
 }
 
 // DropSuccess computes the success probability of a task with the given
@@ -132,4 +151,64 @@ func DropExpectedFree(prev *PMF, exec *Profile, deadline int64, mode DropMode) f
 		return 0
 	}
 	return e / mass
+}
+
+// DropEval computes DropSuccess and DropExpectedFree in one scan of prev —
+// the two scalars phase-one mapping evaluates for every (task, machine)
+// pair. The accumulation order of each result replicates its standalone
+// function exactly, so DropEval is a bit-identical drop-in for the pair of
+// calls at half the tail-scanning cost.
+func DropEval(prev *PMF, exec *Profile, deadline int64, mode DropMode) (success, expFree float64) {
+	if prev.IsZero() {
+		return 0, 0
+	}
+	if mode == NoDrop {
+		return DropSuccess(prev, exec, deadline), prev.Mean() + exec.Mean()
+	}
+	var s, e, mass float64
+	if prev.nz != nil {
+		// Sparse fast path: a compacted tail stores few impulses over a
+		// wide dense support; walking the non-zero index skips only exact
+		// zeros, so the sums are bit-identical to the dense scan below.
+		for _, off := range prev.nz {
+			a := prev.probs[off]
+			st := prev.start + int64(off)
+			mass += a
+			switch {
+			case st >= deadline:
+				e += a * float64(st)
+			case mode == Evict:
+				s += a * exec.CDF(deadline-st)
+				e += a * (float64(st) + exec.MeanCappedAt(deadline-st))
+			default: // PendingDrop
+				s += a * exec.CDF(deadline-st)
+				e += a * (float64(st) + exec.Mean())
+			}
+		}
+	} else {
+		for i, a := range prev.probs {
+			if a == 0 {
+				continue
+			}
+			st := prev.start + int64(i)
+			mass += a
+			switch {
+			case st >= deadline:
+				e += a * float64(st)
+			case mode == Evict:
+				s += a * exec.CDF(deadline-st)
+				e += a * (float64(st) + exec.MeanCappedAt(deadline-st))
+			default: // PendingDrop
+				s += a * exec.CDF(deadline-st)
+				e += a * (float64(st) + exec.Mean())
+			}
+		}
+	}
+	if s > 1 {
+		s = 1 // floating-point accumulation guard
+	}
+	if mass == 0 {
+		return s, 0
+	}
+	return s, e / mass
 }

@@ -1,0 +1,98 @@
+package simulator
+
+import (
+	"reflect"
+	"testing"
+
+	"taskprune/internal/metrics"
+	"taskprune/internal/pet"
+	"taskprune/internal/pmf"
+	"taskprune/internal/stats"
+	"taskprune/internal/trace"
+	"taskprune/internal/workload"
+)
+
+// runTraced simulates one fixed workload under cfg and returns the full
+// decision trace plus the trial statistics.
+func runTraced(t *testing.T, cfg Config, matrix *pet.Matrix, seed int64) ([]trace.Event, metrics.TrialStats) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	tasks, err := workload.Generate(workload.Config{
+		NumTasks: 250,
+		Rate:     workload.RateForLevel(workload.Level34k),
+		VarFrac:  0.10,
+		Beta:     2.0,
+	}, matrix, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events(), st
+}
+
+// TestCachedEvalEquivalence: the incremental evaluation cache (per-(task,
+// machine) slots keyed by tail stamps, plus the cross-event tail memo) must
+// be a pure optimization — the same workload and seed must yield a
+// byte-identical decision trace and identical robustness statistics with
+// the cache enabled and with NaiveEval recomputing everything, under all
+// three dropping scenarios.
+func TestCachedEvalEquivalence(t *testing.T) {
+	matrix := simPET(t)
+	for _, name := range []string{"PAM", "PAMF"} {
+		for _, mode := range []pmf.DropMode{pmf.NoDrop, pmf.PendingDrop, pmf.Evict} {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				cfg := MustConfigFor(name, matrix)
+				cfg.Mode = mode
+				cfg.EvictAtDeadline = mode == pmf.Evict
+
+				cached := cfg
+				cached.NaiveEval = false
+				naive := cfg
+				naive.NaiveEval = true
+
+				for seed := int64(1); seed <= 3; seed++ {
+					evC, stC := runTraced(t, cached, matrix, seed)
+					evN, stN := runTraced(t, naive, matrix, seed)
+					if !reflect.DeepEqual(evC, evN) {
+						for i := range evC {
+							if i >= len(evN) || evC[i] != evN[i] {
+								t.Fatalf("seed %d: traces diverge at event %d: cached %v, naive %v",
+									seed, i, evC[i], evN[i])
+							}
+						}
+						t.Fatalf("seed %d: cached trace has %d events, naive %d", seed, len(evC), len(evN))
+					}
+					if !reflect.DeepEqual(stC, stN) {
+						t.Fatalf("seed %d: stats diverge:\ncached: %+v\nnaive:  %+v", seed, stC, stN)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCachedEvalEquivalenceMOC extends the cache equivalence check to MOC,
+// whose permutation search reads the cached tails directly.
+func TestCachedEvalEquivalenceMOC(t *testing.T) {
+	matrix := simPET(t)
+	cfg := MustConfigFor("MOC", matrix)
+	for _, mode := range []pmf.DropMode{pmf.NoDrop, pmf.PendingDrop, pmf.Evict} {
+		cfg.Mode = mode
+		naive := cfg
+		naive.NaiveEval = true
+		evC, stC := runTraced(t, cfg, matrix, 7)
+		evN, stN := runTraced(t, naive, matrix, 7)
+		if !reflect.DeepEqual(evC, evN) || !reflect.DeepEqual(stC, stN) {
+			t.Fatalf("mode %v: cached and naive MOC runs diverge", mode)
+		}
+	}
+}

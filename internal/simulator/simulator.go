@@ -79,6 +79,12 @@ type Config struct {
 	// Trace, when non-nil, records the simulator's decision stream
 	// (arrivals, mapping decisions, drops, pruner flips) for auditing.
 	Trace *trace.Recorder
+	// NaiveEval disables the incremental per-(task, machine) evaluation
+	// cache inside the mapping heuristics, recomputing every phase-one
+	// scalar on every commit round. Assignments and statistics are
+	// identical either way (asserted by the cache equivalence tests); this
+	// exists for those tests and for measuring what the cache buys.
+	NaiveEval bool
 }
 
 // ConfigFor returns the evaluation configuration the paper uses for the
@@ -134,6 +140,18 @@ type Simulator struct {
 	pruner   *pruner.Pruner
 	fairness *pruner.FairnessTracker
 
+	// arena supplies scratch storage for every PMF the dequeue/requeue loop
+	// builds (queue tails, pruning chains, mapping evaluations); it is
+	// reset wholesale at each mapping event, eliminating per-convolution
+	// heap traffic. evalCache persists phase-one mapping evaluations across
+	// events, invalidated per machine by queue version. ctx and taskScratch
+	// are reused event to event for the same reason.
+	arena       *pmf.Arena
+	evalCache   *heuristics.EvalCache
+	ctx         heuristics.Context
+	taskScratch []*task.Task
+	gone        map[*task.Task]bool
+
 	now              int64
 	missedSinceEvent int
 	droppedByPruner  int
@@ -174,7 +192,13 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Prices != nil && len(cfg.Prices) != cfg.PET.NumMachines() {
 		return nil, fmt.Errorf("simulator: %d prices for %d machines", len(cfg.Prices), cfg.PET.NumMachines())
 	}
-	s := &Simulator{cfg: cfg, tasks: make(map[int]*task.Task)}
+	s := &Simulator{
+		cfg:       cfg,
+		tasks:     make(map[int]*task.Task),
+		arena:     pmf.NewArena(),
+		evalCache: heuristics.NewEvalCache(),
+		gone:      make(map[*task.Task]bool),
+	}
 	for mi := 0; mi < cfg.PET.NumMachines(); mi++ {
 		price := 0.0
 		if cfg.Prices != nil {
@@ -289,6 +313,7 @@ func (s *Simulator) exitTask(t *task.Task, st task.State) {
 		kind = trace.TaskDropped
 	}
 	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: kind, TaskID: t.ID, Machine: t.Machine})
+	s.evalCache.Forget(t.ID)
 	if st != task.StateCompleted {
 		s.missedSinceEvent++
 	}
@@ -315,7 +340,8 @@ func (s *Simulator) dropExpired() {
 	}
 	s.batch = kept
 	for _, m := range s.machines {
-		for _, t := range append([]*task.Task(nil), m.Pending()...) {
+		s.taskScratch = append(s.taskScratch[:0], m.Pending()...)
+		for _, t := range s.taskScratch {
 			if t.Expired(s.now) {
 				m.RemovePending(t)
 				s.exitTask(t, task.StateDropped)
@@ -328,6 +354,9 @@ func (s *Simulator) dropExpired() {
 // the mapping heuristic.
 func (s *Simulator) mappingEvent() {
 	s.mappingEvents++
+	// Everything PMF-shaped built during this event — pruning chains, queue
+	// tails, mapping evaluations — lives in the arena and dies here.
+	s.arena.Reset()
 	if s.pruner != nil {
 		wasDropping := s.pruner.Dropping()
 		dropping := s.pruner.ObserveMappingEvent(s.missedSinceEvent)
@@ -345,7 +374,7 @@ func (s *Simulator) mappingEvent() {
 	} else {
 		s.missedSinceEvent = 0
 	}
-	ctx := &heuristics.Context{
+	s.ctx = heuristics.Context{
 		Now:         s.now,
 		Machines:    s.machines,
 		PET:         s.cfg.PET,
@@ -353,8 +382,11 @@ func (s *Simulator) mappingEvent() {
 		MaxImpulses: s.cfg.MaxImpulses,
 		Pruner:      s.pruner,
 		Fairness:    s.fairness,
+		Arena:       s.arena,
+		Cache:       s.evalCache,
+		NaiveEval:   s.cfg.NaiveEval,
 	}
-	res := s.cfg.Heuristic.Map(ctx, s.batch)
+	res := s.cfg.Heuristic.Map(&s.ctx, s.batch)
 	if s.cfg.Trace != nil {
 		for _, t := range res.Assigned {
 			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskMapped, TaskID: t.ID, Machine: t.Machine})
@@ -364,7 +396,8 @@ func (s *Simulator) mappingEvent() {
 		}
 	}
 	if len(res.Assigned) > 0 || len(res.Culled) > 0 {
-		gone := make(map[*task.Task]bool, len(res.Assigned)+len(res.Culled))
+		gone := s.gone
+		clear(gone)
 		for _, t := range res.Assigned {
 			gone[t] = true
 		}
@@ -390,10 +423,10 @@ func (s *Simulator) mappingEvent() {
 // chain, which is exactly how dropping improves the tasks behind them.
 func (s *Simulator) pruneQueues() {
 	for _, m := range s.machines {
-		prev := pmf.Impulse(s.now)
+		prev := s.arena.Impulse(s.now)
 		pos := 0
 		if ex := m.Executing(); ex != nil {
-			comp := s.cfg.PET.PMF(ex.Type, m.ID).Shift(ex.Start - ex.Consumed).ConditionAtLeast(s.now)
+			comp := s.arena.ShiftConditioned(s.cfg.PET.PMF(ex.Type, m.ID), ex.Start-ex.Consumed, s.now)
 			rob := comp.SuccessProb(ex.Deadline)
 			skew := comp.BoundedSkewness()
 			if s.pruner.ShouldDrop(rob, skew, pos, s.sufferage(ex.Type)) {
@@ -421,29 +454,26 @@ func (s *Simulator) pruneQueues() {
 			} else {
 				free := comp
 				if s.cfg.Mode == pmf.Evict {
-					free = comp.Clone()
-					late := free.TruncateAfter(ex.Deadline)
-					if late > 0 {
-						free.AddMass(ex.Deadline, late)
-					}
+					free = s.arena.EvictTail(comp, ex.Deadline)
 				}
-				prev = pmf.Compact(free, s.cfg.MaxImpulses)
+				prev = s.arena.Compact(free, s.cfg.MaxImpulses)
 				pos++
 			}
 		}
-		for _, t := range append([]*task.Task(nil), m.Pending()...) {
+		s.taskScratch = append(s.taskScratch[:0], m.Pending()...)
+		for _, t := range s.taskScratch {
 			exec := s.cfg.PET.PMF(t.Type, m.ID)
 			if t.Consumed > 0 {
 				exec = exec.RemainingAfter(t.Consumed) // preempted: partial credit
 			}
-			res := pmf.ConvolveDrop(prev, exec, t.Deadline, s.cfg.Mode)
+			res := s.arena.ConvolveDrop(prev, exec, t.Deadline, s.cfg.Mode)
 			if s.pruner.ShouldDrop(res.Success, res.Free.BoundedSkewness(), pos, s.sufferage(t.Type)) {
 				m.RemovePending(t)
 				s.exitTask(t, task.StateDropped)
 				s.droppedByPruner++
 				continue
 			}
-			prev = pmf.Compact(res.Free, s.cfg.MaxImpulses)
+			prev = s.arena.Compact(res.Free, s.cfg.MaxImpulses)
 			pos++
 		}
 	}
@@ -488,7 +518,8 @@ func (s *Simulator) flushUnfinished() {
 	}
 	s.batch = nil
 	for _, m := range s.machines {
-		for _, t := range append([]*task.Task(nil), m.Pending()...) {
+		s.taskScratch = append(s.taskScratch[:0], m.Pending()...)
+		for _, t := range s.taskScratch {
 			m.RemovePending(t)
 			s.exitTask(t, task.StateDropped)
 		}

@@ -27,6 +27,36 @@
 // The subpackages under internal/ contain the substrates (PMF algebra,
 // PET profiling, the event-driven engine, the experiment harness); this
 // package re-exports the surface a downstream user needs.
+//
+// # Performance model
+//
+// Every mapping decision reduces to PMF convolutions, and the engine is
+// built so that the steady state performs essentially none of them on the
+// heap:
+//
+//   - Each Simulator owns a PMF arena (internal/pmf.Arena): a bump
+//     allocator over pooled blocks that hands out every intermediate
+//     distribution of a mapping event — queue tails, pruning chains,
+//     commit convolutions — and reclaims them wholesale when the event
+//     ends. Arena-backed PMFs are scratch: code inside the engine must
+//     never retain one across an event boundary without copying it first
+//     (pmf.PMF.CopyFrom exists for exactly that). The pmf package also
+//     exposes caller-owned scratch variants (ConvolveInto,
+//     ConvolveDropInto) whose zero-allocation steady state is pinned by
+//     testing.AllocsPerRun guards.
+//
+//   - Phase-one mapping evaluations are cached per (task, machine) and
+//     keyed by a per-machine tail stamp: committing an assignment bumps
+//     exactly one machine's stamp, so each commit round invalidates one
+//     column instead of the whole table, and a cross-event tail memo keeps
+//     stamps (and thus cached evaluations) alive while a machine's queue
+//     and conditioned head distribution are unchanged. SimConfig.NaiveEval
+//     disables all of it; the equivalence tests assert the decision traces
+//     are byte-identical either way.
+//
+//   - Monte Carlo trials fan out over a fixed worker pool; trial k's RNG
+//     seed depends only on (base seed, k), so results are reproducible
+//     under any worker count.
 package taskprune
 
 import (
