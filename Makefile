@@ -1,7 +1,8 @@
-GO   ?= go
-DATE := $(shell date +%Y%m%d)
+GO             ?= go
+DATE           := $(shell date +%Y%m%d)
+BENCH_BASELINE ?= BENCH_20260728.json
 
-.PHONY: build vet test ci bench bench-smoke
+.PHONY: build vet test ci bench bench-smoke bench-guard golden golden-update
 
 build:
 	$(GO) build ./...
@@ -12,7 +13,22 @@ vet:
 test:
 	$(GO) test ./...
 
-ci: vet build test bench-smoke
+ci: vet build test golden bench-smoke bench-guard
+
+# Golden decision-trace determinism: the committed traces must replay byte
+# for byte, twice, so flaky nondeterminism cannot hide behind test caching.
+golden:
+	$(GO) test -run Golden -count=2 ./internal/simulator/
+
+# Regenerate the golden traces after an intentional behavior change; review
+# the diff like any other scheduling change.
+golden-update:
+	$(GO) test -run Golden -update ./internal/simulator/
+
+# Allocation-regression tripwire: BenchmarkSingleTrialPAM allocs/op must
+# stay within 2x of the committed baseline.
+bench-guard:
+	./scripts/bench_guard.sh $(BENCH_BASELINE)
 
 # Quick throughput/allocation smoke: one full trial per heuristic class and
 # the convolution-core allocation guards.

@@ -6,11 +6,13 @@
 //	hcsim -exp fig7                 # regenerate Figure 7 at paper scale
 //	hcsim -exp all -trials 10       # every figure, 10 trials per point
 //	hcsim -exp single -heuristic PAM -level 34000
+//	hcsim -exp single -heuristic PAM -scenario churn.json
+//	hcsim -exp scen-fault           # fleet-churn fault-tolerance study
 //	hcsim -exp fig5 -csv fig5.csv   # also export CSV
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 abl-compact abl-eq7
-// abl-scenario abl-arrival abl-moc abl-drift ext-preempt ext-approx single
-// all.
+// abl-scenario abl-arrival abl-moc abl-drift ext-preempt ext-approx
+// scen-fault single all.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"taskprune/internal/experiments"
 	"taskprune/internal/report"
+	"taskprune/internal/scenario"
 	"taskprune/internal/simulator"
 	"taskprune/internal/stats"
 	"taskprune/internal/workload"
@@ -39,6 +42,7 @@ func main() {
 		plot      = flag.Bool("plot", false, "also render results as an ASCII bar chart")
 		heuristic = flag.String("heuristic", "PAM", "heuristic for -exp single")
 		level     = flag.Float64("level", workload.Level34k, "oversubscription level for -exp single")
+		scenPath  = flag.String("scenario", "", "JSON fleet-scenario file for -exp single (failures, recoveries, degradations, bursts)")
 	)
 	flag.Parse()
 
@@ -48,7 +52,14 @@ func main() {
 	}
 
 	if *exp == "single" {
-		if err := runSingle(opts, *heuristic, *level); err != nil {
+		var sc *scenario.Scenario
+		if *scenPath != "" {
+			var err error
+			if sc, err = scenario.Load(*scenPath); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runSingle(opts, *heuristic, *level, sc); err != nil {
 			fatal(err)
 		}
 		return
@@ -57,7 +68,7 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-			"abl-compact", "abl-eq7", "abl-scenario", "abl-arrival", "abl-moc", "abl-drift", "ext-preempt", "ext-approx"}
+			"abl-compact", "abl-eq7", "abl-scenario", "abl-arrival", "abl-moc", "abl-drift", "ext-preempt", "ext-approx", "scen-fault"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -112,6 +123,8 @@ func runExperiment(name string, opts experiments.Options) (*experiments.Figure, 
 		return experiments.ExtensionApproximate(opts)
 	case "abl-drift":
 		return experiments.AblationPETDrift(opts)
+	case "scen-fault":
+		return experiments.ScenarioFaultTolerance(opts)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
@@ -130,21 +143,25 @@ func tablesFor(name string, fig *experiments.Figure) []*report.Table {
 	}
 }
 
-// runSingle executes one trial of one heuristic and prints its statistics —
-// the quickest way to poke at the system.
-func runSingle(opts experiments.Options, name string, level float64) error {
+// runSingle executes one trial of one heuristic (optionally under a fleet
+// scenario) and prints its statistics — the quickest way to poke at the
+// system.
+func runSingle(opts experiments.Options, name string, level float64, sc *scenario.Scenario) error {
 	matrix := experiments.SPECPET()
 	cfg, err := simulator.ConfigFor(name, matrix)
 	if err != nil {
 		return err
 	}
-	rng := stats.NewRNG(opts.Seed)
-	tasksList, err := workload.Generate(workload.Config{
+	cfg.Scenario = sc
+	wcfg := workload.Config{
 		NumTasks: opts.Tasks,
 		Rate:     workload.RateForLevel(level),
 		VarFrac:  opts.VarFrac,
 		Beta:     opts.Beta,
-	}, matrix, rng)
+	}
+	sc.ApplyBursts(&wcfg)
+	rng := stats.NewRNG(opts.Seed)
+	tasksList, err := workload.Generate(wcfg, matrix, rng)
 	if err != nil {
 		return err
 	}
@@ -163,6 +180,10 @@ func runSingle(opts experiments.Options, name string, level float64) error {
 	if sim.Pruner() != nil {
 		fmt.Printf("pruner: %d mapping events, %d pruner drops, %d evictions, final level %.2f\n",
 			sim.MappingEvents(), sim.DroppedByPruner(), sim.Evicted(), sim.Pruner().Level())
+	}
+	if sc != nil {
+		fmt.Printf("scenario %q: %d fleet events, %d burst windows, %d tasks requeued by failures\n",
+			sc.Name, len(sc.Events), len(sc.Bursts), sim.Requeued())
 	}
 	return nil
 }

@@ -14,13 +14,17 @@ const (
 	Arrival Kind = iota
 	// Completion: a machine finishes its executing task.
 	Completion
+	// Fleet: a scenario-scheduled fleet change (machine failure, recovery,
+	// or degradation) fires. TaskID carries the index of the scenario event
+	// so the simulator can look up the full action.
+	Fleet
 )
 
 // Event is one scheduled occurrence.
 type Event struct {
 	Tick    int64
 	Kind    Kind
-	TaskID  int // valid for Arrival
+	TaskID  int // Arrival: task ID; Fleet: scenario event index
 	Machine int // valid for Completion
 	seq     uint64
 	index   int

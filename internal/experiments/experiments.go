@@ -145,9 +145,11 @@ func (o Options) RunPoint(matrix *pet.Matrix, wcfg workload.Config, simCfg simul
 }
 
 // runTrial generates and simulates one trial, writing its statistics into
-// out.
+// out. A scenario on the simulator config also shapes the workload: its
+// burst windows apply at generation time.
 func (o Options) runTrial(trial int, matrix *pet.Matrix, wcfg workload.Config, simCfg simulator.Config, out *metrics.TrialStats) error {
 	rng := stats.NewRNG(TrialSeed(o.Seed, trial))
+	simCfg.Scenario.ApplyBursts(&wcfg)
 	tasks, err := workload.Generate(wcfg, matrix, rng)
 	if err != nil {
 		return err

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taskprune/internal/scenario"
+	"taskprune/internal/simulator"
+	"taskprune/internal/workload"
+)
+
+// This file evaluates the dynamic-fleet scenario engine: the paper's
+// experiments hold the fleet fixed, but probabilistic pruning is supposed
+// to shine exactly when capacity is yanked away mid-stream — the pruner
+// sheds the tasks the shrunken fleet can no longer save instead of wasting
+// the survivors' time on them.
+
+// FaultScenario is the canned mid-trial churn used by the scen-fault
+// experiment against the 8-machine SPEC-like PET: at roughly one third of
+// the trial span two machines fail (their queues requeued), both recover at
+// roughly two thirds, and a third machine runs 2× degraded in between. The
+// ticks are calibrated to the ≈4100-tick span of an 800-task trial at the
+// 19k arrival level.
+func FaultScenario() *scenario.Scenario {
+	return scenario.New("fault-tolerance").
+		DegradeAt(900, 0, 2).
+		FailAt(1200, 2, scenario.Requeue).
+		FailAt(1400, 5, scenario.Requeue).
+		RecoverAt(2600, 2).
+		RecoverAt(2800, 5).
+		DegradeAt(3000, 0, 1)
+}
+
+// ScenarioFaultTolerance compares every major heuristic on identical
+// workloads with and without the FaultScenario churn at the 19k level. The
+// interesting read is the churn column: the pruning mappers should hold on
+// to most of their static robustness, while the baselines pay full price
+// for every task they keep feeding the shrunken fleet.
+func ScenarioFaultTolerance(o Options) (*Figure, error) {
+	matrix := SPECPET()
+	wcfg := o.workloadConfig(workload.Level19k)
+	fig := &Figure{
+		Name:    "ScenFault",
+		Caption: "robustness @19k: static fleet vs mid-trial churn (2 failures + recovery, 1 degradation)",
+	}
+	for _, name := range []string{"PAM", "PAMF", "MOC", "MM"} {
+		for _, variant := range []struct {
+			label string
+			sc    *scenario.Scenario
+		}{
+			{"static", nil},
+			{"churn", FaultScenario()},
+		} {
+			cfg := simulator.MustConfigFor(name, matrix)
+			cfg.Scenario = variant.sc
+			trials, err := o.RunPoint(matrix, wcfg, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("scen-fault %s/%s: %w", name, variant.label, err)
+			}
+			fig.Points = append(fig.Points, NewPoint(name, variant.label, trials))
+		}
+	}
+	return fig, nil
+}

@@ -60,6 +60,25 @@ func (c *Context) sufferage(t task.Type) float64 {
 	return c.Fairness.Sufferage(t)
 }
 
+// ExecPMF returns the execution-time PMF of type tt on machine mi under the
+// machine's current speed factor. On a nominal-speed machine it is exactly
+// the PET entry, so the static-fleet path is untouched.
+func (c *Context) ExecPMF(tt task.Type, mi int) *pmf.PMF {
+	return c.PET.ScaledPMF(tt, mi, c.Machines[mi].Speed())
+}
+
+// ExecProfile returns the prefix-sum execution profile of type tt on
+// machine mi under the machine's current speed factor.
+func (c *Context) ExecProfile(tt task.Type, mi int) *pmf.Profile {
+	return c.PET.ScaledProfile(tt, mi, c.Machines[mi].Speed())
+}
+
+// ExecMean returns the profiled mean execution time of type tt on machine
+// mi under the machine's current speed factor.
+func (c *Context) ExecMean(tt task.Type, mi int) float64 {
+	return c.PET.ScaledEstMean(tt, mi, c.Machines[mi].Speed())
+}
+
 // Result reports what a mapping event did.
 type Result struct {
 	// Assigned tasks were enqueued onto machines (already committed).
@@ -252,7 +271,7 @@ func newScalarState(ctx *Context) *scalarState {
 
 // ect returns the expected completion time of task t on machine mi.
 func (s *scalarState) ect(ctx *Context, t *task.Task, mi int) float64 {
-	return s.ready[mi] + ctx.PET.EstMean(t.Type, mi)
+	return s.ready[mi] + ctx.ExecMean(t.Type, mi)
 }
 
 // bestMachine returns the machine index minimizing expected completion time
@@ -280,7 +299,7 @@ func (s *scalarState) commit(ctx *Context, t *task.Task, mi int) {
 	if err := ctx.Machines[mi].Enqueue(t); err != nil {
 		panic(fmt.Sprintf("heuristics: commit to full machine %d: %v", mi, err))
 	}
-	s.ready[mi] += ctx.PET.EstMean(t.Type, mi)
+	s.ready[mi] += ctx.ExecMean(t.Type, mi)
 }
 
 // probState binds one mapping event to the (persistent) evaluation cache
@@ -344,8 +363,13 @@ func (c *EvalCache) tailFor(ctx *Context, i int, m *machine.Machine) *pmf.PMF {
 	}
 	key, hasExec := int64(0), ex != nil
 	if ex != nil {
-		exec := ctx.PET.PMF(ex.Type, m.ID)
-		if tick, ok := exec.FirstImpulseAt(ctx.Now - (ex.Start - ex.Consumed)); ok {
+		// Mirror machine.TailPMF's conditioning exactly, including the
+		// degradation factor the run started under — ver pins the factor
+		// (SetSpeed bumps the version), so the key only needs the
+		// conditioned first-impulse tick of the scaled profile.
+		f := m.RunFactor()
+		exec := ctx.PET.ScaledPMF(ex.Type, m.ID, f)
+		if tick, ok := exec.FirstImpulseAt(ctx.Now - (ex.Start - pmf.ScaleDur(ex.Consumed, f))); ok {
 			key = tick
 		} else {
 			key = -ctx.Now // overdue: conditioned head is Impulse(now)
@@ -366,7 +390,7 @@ func (c *EvalCache) tailFor(ctx *Context, i int, m *machine.Machine) *pmf.PMF {
 
 // compute is the uncached phase-one evaluation of task t on machine mi.
 func (s *probState) compute(ctx *Context, t *task.Task, mi int) fastEval {
-	prof := ctx.PET.Profile(t.Type, mi)
+	prof := ctx.ExecProfile(t.Type, mi)
 	success, expFree := pmf.DropEval(s.tails[mi], prof, t.Deadline, ctx.Mode)
 	return fastEval{success: success, expFree: expFree}
 }
@@ -425,7 +449,7 @@ func (s *probState) commit(ctx *Context, t *task.Task, mi int) {
 	if err := ctx.Machines[mi].Enqueue(t); err != nil {
 		panic(fmt.Sprintf("heuristics: commit to full machine %d: %v", mi, err))
 	}
-	res := s.arena.ConvolveDrop(s.tails[mi], ctx.PET.PMF(t.Type, mi), t.Deadline, ctx.Mode)
+	res := s.arena.ConvolveDrop(s.tails[mi], ctx.ExecPMF(t.Type, mi), t.Deadline, ctx.Mode)
 	s.tails[mi] = s.arena.Compact(res.Free, ctx.MaxImpulses)
 	s.cache.stamps[mi]++ // one column of cached evaluations dies, no more
 	s.cache.Forget(t.ID)

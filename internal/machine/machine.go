@@ -31,6 +31,19 @@ type Machine struct {
 	busyTicks int64
 	runStart  int64
 
+	// alive is the scenario-engine membership flag: a failed (or not yet
+	// joined) machine accepts no work, reports no free slots, and never
+	// starts tasks. All machines start alive.
+	alive bool
+
+	// speed is the current performance degradation factor: tasks on this
+	// machine take speed× their nominal execution time (1 = nominal,
+	// 2 = half speed). runFactor freezes the factor the executing task
+	// started under, so a mid-run degradation never perturbs an already
+	// scheduled completion event.
+	speed     float64
+	runFactor float64
+
 	// version counts queue mutations (enqueue, start, finish, removal).
 	// Mapping heuristics key their per-(task, machine) evaluation caches on
 	// it: a cached evaluation is valid exactly while the machine's version
@@ -42,12 +55,65 @@ type Machine struct {
 // Version returns the monotonically increasing queue-mutation counter.
 func (m *Machine) Version() uint64 { return m.version }
 
-// New creates an idle machine.
+// New creates an idle machine at nominal speed.
 func New(id int, name string, queueCap int, price float64) *Machine {
 	if queueCap < 1 {
 		panic(fmt.Sprintf("machine: queue capacity must be >= 1, got %d", queueCap))
 	}
-	return &Machine{ID: id, Name: name, QueueCap: queueCap, Price: price}
+	return &Machine{ID: id, Name: name, QueueCap: queueCap, Price: price, alive: true, speed: 1, runFactor: 1}
+}
+
+// Alive reports whether the machine is part of the active fleet.
+func (m *Machine) Alive() bool { return m.alive }
+
+// Speed returns the current performance degradation factor (1 = nominal).
+func (m *Machine) Speed() float64 { return m.speed }
+
+// RunFactor returns the degradation factor the executing task started
+// under. It equals Speed unless a degradation event fired mid-run.
+func (m *Machine) RunFactor() float64 { return m.runFactor }
+
+// SetSpeed changes the degradation factor for subsequently started tasks
+// and bumps the queue version (scaled execution profiles changed, so every
+// cached evaluation against this machine is stale). It panics on a
+// non-positive factor: scenario validation rejects those up front.
+func (m *Machine) SetSpeed(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("machine: speed factor must be positive, got %v", factor))
+	}
+	m.speed = factor
+	m.version++
+}
+
+// Fail takes the machine out of the fleet at tick now, returning every task
+// it held — the executing task first (its busy time up to now is billed),
+// then the pending queue in FCFS order — for the simulator to requeue or
+// drop per the scenario's failure policy. Failing an already-down machine
+// is a no-op returning nil.
+func (m *Machine) Fail(now int64) []*task.Task {
+	if !m.alive {
+		return nil
+	}
+	var held []*task.Task
+	if m.executing != nil {
+		held = append(held, m.FinishExecuting(now))
+	}
+	held = append(held, m.pending...)
+	m.pending = nil
+	m.alive = false
+	m.version++
+	return held
+}
+
+// Recover returns a failed machine to the fleet, idle and empty. Its speed
+// factor is retained (a recovered machine may still be degraded).
+// Recovering an alive machine is a no-op.
+func (m *Machine) Recover() {
+	if m.alive {
+		return
+	}
+	m.alive = true
+	m.version++
 }
 
 // Executing returns the running task, or nil when idle.
@@ -67,11 +133,19 @@ func (m *Machine) QueueLen() int {
 	return n
 }
 
-// FreeSlots returns how many more tasks can be enqueued.
-func (m *Machine) FreeSlots() int { return m.QueueCap - m.QueueLen() }
+// FreeSlots returns how many more tasks can be enqueued. A dead machine
+// has no free slots, which is the single gate that keeps every mapping
+// heuristic — scalar and probabilistic alike — away from it.
+func (m *Machine) FreeSlots() int {
+	if !m.alive {
+		return 0
+	}
+	return m.QueueCap - m.QueueLen()
+}
 
-// Idle reports whether nothing is executing.
-func (m *Machine) Idle() bool { return m.executing == nil }
+// Idle reports whether the machine could start a task: alive with nothing
+// executing.
+func (m *Machine) Idle() bool { return m.alive && m.executing == nil }
 
 // Enqueue appends t to the local queue.
 func (m *Machine) Enqueue(t *task.Task) error {
@@ -88,7 +162,7 @@ func (m *Machine) Enqueue(t *task.Task) error {
 // StartNext promotes the queue head to executing at tick now and returns
 // it, or nil if the queue is empty or something is already running.
 func (m *Machine) StartNext(now int64) *task.Task {
-	if m.executing != nil || len(m.pending) == 0 {
+	if !m.alive || m.executing != nil || len(m.pending) == 0 {
 		return nil
 	}
 	t := m.pending[0]
@@ -96,6 +170,7 @@ func (m *Machine) StartNext(now int64) *task.Task {
 	m.pending = m.pending[:len(m.pending)-1]
 	m.executing = t
 	m.runStart = now
+	m.runFactor = m.speed
 	m.version++
 	t.State = task.StateRunning
 	t.Start = now
@@ -168,8 +243,11 @@ func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode,
 		t := m.executing
 		// The run began at t.Start with t.Consumed ticks already banked
 		// from earlier (preempted) runs: completion = start - consumed +
-		// total duration, conditioned on not having finished yet.
-		comp := matrix.PMF(t.Type, m.ID).Shift(t.Start - t.Consumed).ConditionAtLeast(now)
+		// total duration, conditioned on not having finished yet. The
+		// profile (and the consumed credit) is stretched by the factor the
+		// run started under.
+		comp := matrix.ScaledPMF(t.Type, m.ID, m.runFactor).
+			Shift(t.Start - pmf.ScaleDur(t.Consumed, m.runFactor)).ConditionAtLeast(now)
 		// The executing task is beyond the "pending" convolution regime:
 		// its success is simply the probability its remaining time beats
 		// the deadline; under Evict it frees the machine at the deadline.
@@ -191,9 +269,9 @@ func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode,
 		pos++
 	}
 	for _, t := range m.pending {
-		exec := matrix.PMF(t.Type, m.ID)
+		exec := matrix.ScaledPMF(t.Type, m.ID, m.speed)
 		if t.Consumed > 0 {
-			exec = exec.RemainingAfter(t.Consumed) // preempted: partial credit
+			exec = exec.RemainingAfter(pmf.ScaleDur(t.Consumed, m.speed)) // preempted: partial credit
 		}
 		res := pmf.ConvolveDrop(prev, exec, t.Deadline, mode)
 		free := pmf.Compact(res.Free, maxImpulses)
@@ -225,17 +303,19 @@ func (m *Machine) TailPMF(a *pmf.Arena, now int64, matrix *pet.Matrix, mode pmf.
 		t := m.executing
 		// The run began at t.Start with t.Consumed ticks already banked from
 		// earlier (preempted) runs: completion = start - consumed + total
-		// duration, conditioned on not having finished yet.
-		free := a.ShiftConditioned(matrix.PMF(t.Type, m.ID), t.Start-t.Consumed, now)
+		// duration, conditioned on not having finished yet — all in the time
+		// scale of the factor the run started under.
+		f := m.runFactor
+		free := a.ShiftConditioned(matrix.ScaledPMF(t.Type, m.ID, f), t.Start-pmf.ScaleDur(t.Consumed, f), now)
 		if mode == pmf.Evict {
 			free = a.EvictTail(free, t.Deadline)
 		}
 		prev = a.Compact(free, maxImpulses)
 	}
 	for _, t := range m.pending {
-		exec := matrix.PMF(t.Type, m.ID)
+		exec := matrix.ScaledPMF(t.Type, m.ID, m.speed)
 		if t.Consumed > 0 {
-			exec = exec.RemainingAfter(t.Consumed) // preempted: partial credit
+			exec = exec.RemainingAfter(pmf.ScaleDur(t.Consumed, m.speed)) // preempted: partial credit
 		}
 		res := a.ConvolveDrop(prev, exec, t.Deadline, mode)
 		prev = a.Compact(res.Free, maxImpulses)
@@ -251,13 +331,14 @@ func (m *Machine) ExpectedReady(now int64, matrix *pet.Matrix) float64 {
 	ready := float64(now)
 	if m.executing != nil {
 		t := m.executing
-		ready = pmf.CondMeanShifted(matrix.PMF(t.Type, m.ID), t.Start-t.Consumed, now)
+		f := m.runFactor
+		ready = pmf.CondMeanShifted(matrix.ScaledPMF(t.Type, m.ID, f), t.Start-pmf.ScaleDur(t.Consumed, f), now)
 	}
 	for _, t := range m.pending {
 		if t.Consumed > 0 {
-			ready += matrix.PMF(t.Type, m.ID).RemainingAfter(t.Consumed).Mean()
+			ready += matrix.ScaledPMF(t.Type, m.ID, m.speed).RemainingAfter(pmf.ScaleDur(t.Consumed, m.speed)).Mean()
 		} else {
-			ready += matrix.EstMean(t.Type, m.ID)
+			ready += matrix.ScaledEstMean(t.Type, m.ID, m.speed)
 		}
 	}
 	return ready
@@ -270,5 +351,8 @@ func (m *Machine) Reset() {
 	m.pending = nil
 	m.busyTicks = 0
 	m.runStart = 0
+	m.alive = true
+	m.speed = 1
+	m.runFactor = 1
 	m.version++
 }

@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"testing"
+
+	"taskprune/internal/task"
+)
+
+func mk(id int) *task.Task {
+	t := task.New(id, 0, 0, 1000)
+	t.TrueExec = []int64{10}
+	return t
+}
+
+func TestFailReturnsQueueInOrder(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	a, b, c := mk(1), mk(2), mk(3)
+	for _, tk := range []*task.Task{a, b, c} {
+		if err := m.Enqueue(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.StartNext(5); got != a {
+		t.Fatalf("StartNext = %v", got)
+	}
+	v := m.Version()
+	held := m.Fail(8)
+	if len(held) != 3 || held[0] != a || held[1] != b || held[2] != c {
+		t.Fatalf("Fail returned %v, want [a b c] (executing first, FCFS after)", held)
+	}
+	if m.Alive() {
+		t.Error("machine still alive after Fail")
+	}
+	if m.Version() <= v {
+		t.Error("Fail did not bump the queue version")
+	}
+	if m.BusyTicks(100) != 3 {
+		t.Errorf("busy ticks = %d, want 3 (ran 5..8)", m.BusyTicks(100))
+	}
+	if m.FreeSlots() != 0 {
+		t.Errorf("dead machine reports %d free slots", m.FreeSlots())
+	}
+	if m.Idle() {
+		t.Error("dead machine reports idle")
+	}
+	if err := m.Enqueue(mk(4)); err == nil {
+		t.Error("dead machine accepted a task")
+	}
+	if m.StartNext(9) != nil {
+		t.Error("dead machine started a task")
+	}
+	if m.Fail(9) != nil {
+		t.Error("double Fail returned tasks")
+	}
+}
+
+func TestRecoverRestoresService(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	m.Fail(0)
+	v := m.Version()
+	m.Recover()
+	if !m.Alive() || m.Version() <= v {
+		t.Fatal("Recover did not restore the machine")
+	}
+	m.Recover() // idempotent
+	if err := m.Enqueue(mk(1)); err != nil {
+		t.Fatalf("recovered machine rejected a task: %v", err)
+	}
+	if m.StartNext(10) == nil {
+		t.Error("recovered machine did not start work")
+	}
+}
+
+func TestSetSpeedAndRunFactor(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	if m.Speed() != 1 || m.RunFactor() != 1 {
+		t.Fatal("new machine is not at nominal speed")
+	}
+	v := m.Version()
+	m.SetSpeed(2.5)
+	if m.Speed() != 2.5 || m.Version() <= v {
+		t.Fatal("SetSpeed did not apply or did not bump version")
+	}
+	// RunFactor freezes at start: a mid-run change must not leak in.
+	m.Enqueue(mk(1))
+	m.StartNext(0)
+	if m.RunFactor() != 2.5 {
+		t.Errorf("run factor = %v, want 2.5", m.RunFactor())
+	}
+	m.SetSpeed(4)
+	if m.RunFactor() != 2.5 {
+		t.Errorf("mid-run SetSpeed changed the run factor to %v", m.RunFactor())
+	}
+	m.FinishExecuting(10)
+	m.Enqueue(mk(2))
+	m.StartNext(10)
+	if m.RunFactor() != 4 {
+		t.Errorf("next run factor = %v, want 4", m.RunFactor())
+	}
+	// Speed survives a fail/recover cycle (a recovered machine may still be
+	// degraded) and resets with Reset.
+	m.Fail(11)
+	m.Recover()
+	if m.Speed() != 4 {
+		t.Errorf("speed after recover = %v, want 4", m.Speed())
+	}
+	m.Reset()
+	if m.Speed() != 1 || m.RunFactor() != 1 || !m.Alive() {
+		t.Error("Reset did not restore nominal state")
+	}
+}
+
+func TestSetSpeedRejectsNonPositive(t *testing.T) {
+	m := New(0, "m0", 6, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive speed accepted")
+		}
+	}()
+	m.SetSpeed(0)
+}

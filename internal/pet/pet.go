@@ -21,9 +21,13 @@ type Entry struct {
 }
 
 // Matrix is an inconsistently heterogeneous PET matrix: task types × machines.
-// It is immutable after construction and safe for concurrent reads.
+// The profiled entries are immutable after construction and safe for
+// concurrent reads; the degradation-scaled views in scaled.go are derived
+// lazily behind their own lock, so a Matrix may be shared across trials even
+// when scenarios degrade machines.
 type Matrix struct {
 	entries [][]Entry // [taskType][machine]
+	scaled  scaledCache
 }
 
 // BuildConfig controls offline PET profiling.

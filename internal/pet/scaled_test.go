@@ -1,0 +1,86 @@
+package pet
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"taskprune/internal/stats"
+)
+
+func scaledTestMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	cfg := BuildConfig{Samples: 300, Bins: 16, MaxImpulses: 16, ShapeLo: 8, ShapeHi: 12}
+	m, err := Build([][]float64{{10, 40}, {40, 10}}, cfg, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestScaledFactorOneIsNominal(t *testing.T) {
+	m := scaledTestMatrix(t)
+	if m.ScaledPMF(0, 1, 1) != m.PMF(0, 1) {
+		t.Error("factor 1 PMF is not the nominal entry pointer")
+	}
+	if m.ScaledProfile(0, 1, 1) != m.Profile(0, 1) {
+		t.Error("factor 1 profile is not the nominal entry pointer")
+	}
+	if m.ScaledEstMean(0, 1, 1) != m.EstMean(0, 1) {
+		t.Error("factor 1 mean differs from nominal")
+	}
+}
+
+func TestScaledEntryCachedAndConsistent(t *testing.T) {
+	m := scaledTestMatrix(t)
+	a := m.ScaledEntry(1, 0, 2.0)
+	b := m.ScaledEntry(1, 0, 2.0)
+	if a != b {
+		t.Error("repeated lookups must hit the cache (same pointer)")
+	}
+	if a.Prof.PMF() != a.PMF {
+		t.Error("scaled profile not built over the scaled PMF")
+	}
+	if math.Abs(a.PMF.Mass()-1) > 1e-9 {
+		t.Errorf("scaled PMF mass = %v, want 1", a.PMF.Mass())
+	}
+	nominal := m.EstMean(1, 0)
+	if got := m.ScaledEstMean(1, 0, 2.0); math.Abs(got-2*nominal) > 1 {
+		t.Errorf("scaled mean %v, want ≈ %v", got, 2*nominal)
+	}
+	if a.Mean != 2*m.Mean(1, 0) {
+		t.Errorf("ground-truth mean %v, want %v", a.Mean, 2*m.Mean(1, 0))
+	}
+	// Distinct factors are distinct entries.
+	if m.ScaledEntry(1, 0, 3.0) == a {
+		t.Error("different factors share one entry")
+	}
+}
+
+// TestScaledEntryConcurrent exercises the lazily populated cache from many
+// goroutines (the Matrix is shared across parallel trials).
+func TestScaledEntryConcurrent(t *testing.T) {
+	m := scaledTestMatrix(t)
+	factors := []float64{1.5, 2, 2.5, 3}
+	var wg sync.WaitGroup
+	results := make([][]*Entry, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := factors[i%len(factors)]
+				results[g] = append(results[g], m.ScaledEntry(0, 0, f))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// All goroutines must have observed the same four entries.
+	for g := 1; g < 8; g++ {
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d observed a different entry at %d", g, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes through the scenario parser and, when a
+// scenario parses, through validation and a marshal→parse round trip. The
+// parser must never panic, and anything it accepts must survive its own
+// wire form.
+func FuzzParse(f *testing.F) {
+	f.Add(`{"name":"x"}`)
+	f.Add(`{"name":"churn","initial_down":[1],"events":[{"tick":500,"kind":"fail","machine":1,"policy":"requeue"},{"tick":900,"kind":"recover","machine":1}]}`)
+	f.Add(`{"events":[{"tick":1200,"kind":"degrade","machine":0,"factor":2.0}]}`)
+	f.Add(`{"bursts":[{"start":300,"end":600,"factor":3.0}]}`)
+	f.Add(`{"events":[{"tick":-5,"kind":"fail","machine":99}]}`)
+	f.Add(`{"events":[{"tick":1,"kind":"degrade","machine":0,"factor":-1}]}`)
+	f.Add(`{"events":[{"tick":1,"kind":"degrade","machine":0,"factor":1e999}]}`)
+	f.Add(`{"bursts":[{"start":600,"end":300,"factor":0}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		// Validation must classify, never panic, for any parsed scenario.
+		valid := s.Validate(8) == nil
+		_ = s.Validate(0)
+		if !valid {
+			return
+		}
+		// A scenario that parses AND validates must round-trip.
+		blob, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal of valid scenario failed: %v", err)
+		}
+		again, err := Parse(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("re-parse of marshaled scenario failed: %v\n%s", err, blob)
+		}
+		if err := again.Validate(8); err != nil {
+			t.Fatalf("round-tripped scenario no longer validates: %v", err)
+		}
+		if len(again.Events) != len(s.Events) || len(again.Bursts) != len(s.Bursts) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", s, again)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package scenario declares dynamic fleet scenarios for the simulator:
+// timed machine failures (with their queues requeued or dropped),
+// recoveries, elastic join/leave of machines, per-machine performance
+// degradation factors, and arrival-rate burst windows. A scenario is a
+// small declarative value — built in Go or parsed from JSON — that the
+// simulator schedules through its event queue, so fleet churn composes with
+// arrivals and completions under the same deterministic tie-ordering as
+// everything else.
+//
+// The paper's evaluation assumes a fixed heterogeneous fleet; scenarios
+// open the robustness regime the pruning mechanism is actually for — real
+// HC clusters lose machines, get them back, and slow down under background
+// load. The PET matrix's column count remains the (maximum) fleet size:
+// elastic scenarios start machines absent via InitialDown and join them
+// later, so every task still carries one ground-truth execution time per
+// potential machine.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"taskprune/internal/workload"
+)
+
+// EventKind classifies a fleet event.
+type EventKind int
+
+const (
+	// Fail removes a machine from the fleet; its queued and executing
+	// tasks are requeued to the batch queue or dropped per the event's
+	// Policy. "remove" and "leave" parse to Fail (elastic shrink).
+	Fail EventKind = iota
+	// Recover returns a failed machine to the fleet, idle and empty.
+	// "add" and "join" parse to Recover (elastic grow).
+	Recover
+	// Degrade sets a machine's performance degradation factor: tasks
+	// started on it take Factor× their nominal execution time. Factor 1
+	// restores nominal speed ("restore" parses to Degrade with Factor 1).
+	// The executing task, if any, keeps the factor it started under.
+	Degrade
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Fail:
+		return "fail"
+	case Recover:
+		return "recover"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Policy selects what happens to a failed machine's tasks.
+type Policy int
+
+const (
+	// Requeue returns the machine's tasks (executing first, then the
+	// pending queue in FCFS order) to the batch queue; any execution
+	// progress is lost. This is the default.
+	Requeue Policy = iota
+	// Drop exits the machine's tasks from the system as dropped.
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == Drop {
+		return "drop"
+	}
+	return "requeue"
+}
+
+// Event is one timed fleet change.
+type Event struct {
+	Tick    int64
+	Kind    EventKind
+	Machine int
+	Factor  float64 // Degrade: new speed factor (> 0)
+	Policy  Policy  // Fail: fate of the machine's queued tasks
+}
+
+// String renders the event compactly for traces and errors.
+func (e Event) String() string {
+	switch e.Kind {
+	case Degrade:
+		return fmt.Sprintf("t=%d degrade m%d ×%g", e.Tick, e.Machine, e.Factor)
+	case Fail:
+		return fmt.Sprintf("t=%d fail m%d (%s)", e.Tick, e.Machine, e.Policy)
+	default:
+		return fmt.Sprintf("t=%d %s m%d", e.Tick, e.Kind, e.Machine)
+	}
+}
+
+// Scenario is a full dynamic-fleet specification. The zero value (or nil)
+// is the static fleet the paper evaluates.
+type Scenario struct {
+	// Name labels the scenario in reports and figures.
+	Name string
+	// InitialDown lists machines absent at tick 0 (elastic scenarios grow
+	// the fleet by recovering them later).
+	InitialDown []int
+	// Events are the timed fleet changes, in any order; the simulator's
+	// event queue orders them by (tick, declaration order).
+	Events []Event
+	// Bursts are arrival-rate burst windows applied by the workload
+	// generator (they shape the task stream, not the fleet).
+	Bursts []workload.Burst
+}
+
+// New returns an empty named scenario, ready for the builder methods.
+func New(name string) *Scenario { return &Scenario{Name: name} }
+
+// FailAt appends a machine failure. Returns s for chaining.
+func (s *Scenario) FailAt(tick int64, machine int, policy Policy) *Scenario {
+	s.Events = append(s.Events, Event{Tick: tick, Kind: Fail, Machine: machine, Policy: policy})
+	return s
+}
+
+// RecoverAt appends a machine recovery. Returns s for chaining.
+func (s *Scenario) RecoverAt(tick int64, machine int) *Scenario {
+	s.Events = append(s.Events, Event{Tick: tick, Kind: Recover, Machine: machine})
+	return s
+}
+
+// DegradeAt appends a speed-factor change. Returns s for chaining.
+func (s *Scenario) DegradeAt(tick int64, machine int, factor float64) *Scenario {
+	s.Events = append(s.Events, Event{Tick: tick, Kind: Degrade, Machine: machine, Factor: factor})
+	return s
+}
+
+// BurstWindow appends an arrival-rate burst. Returns s for chaining.
+func (s *Scenario) BurstWindow(start, end int64, factor float64) *Scenario {
+	s.Bursts = append(s.Bursts, workload.Burst{Start: start, End: end, Factor: factor})
+	return s
+}
+
+// StartDown marks machines as absent at tick 0. Returns s for chaining.
+func (s *Scenario) StartDown(machines ...int) *Scenario {
+	s.InitialDown = append(s.InitialDown, machines...)
+	return s
+}
+
+// IsStatic reports whether the scenario changes nothing (nil-safe), so the
+// simulator can skip all scenario bookkeeping on the paper's fixed fleet.
+func (s *Scenario) IsStatic() bool {
+	return s == nil || (len(s.InitialDown) == 0 && len(s.Events) == 0 && len(s.Bursts) == 0)
+}
+
+// ApplyBursts copies the scenario's burst windows onto a workload
+// configuration (nil-safe no-op). Every path that pairs a scenario with
+// generated workloads must route through this, so the two halves of a
+// scenario — fleet events into the simulator, bursts into the generator —
+// cannot drift apart. Bursts already present on the config win: the caller
+// explicitly shaped that workload.
+func (s *Scenario) ApplyBursts(cfg *workload.Config) {
+	if s == nil || len(cfg.Bursts) > 0 {
+		return
+	}
+	cfg.Bursts = s.Bursts
+}
+
+// Validate checks the scenario against a fleet of nMachines. It rejects
+// out-of-range machine indices, negative ticks, non-positive or non-finite
+// degradation factors, malformed burst windows, and an InitialDown set that
+// empties the fleet.
+func (s *Scenario) Validate(nMachines int) error {
+	if s == nil {
+		return nil
+	}
+	if nMachines <= 0 {
+		return fmt.Errorf("scenario %q: fleet has %d machines", s.Name, nMachines)
+	}
+	down := make(map[int]bool, len(s.InitialDown))
+	for _, mi := range s.InitialDown {
+		if mi < 0 || mi >= nMachines {
+			return fmt.Errorf("scenario %q: initial_down machine %d out of range [0,%d)", s.Name, mi, nMachines)
+		}
+		if down[mi] {
+			return fmt.Errorf("scenario %q: machine %d listed in initial_down twice", s.Name, mi)
+		}
+		down[mi] = true
+	}
+	if len(down) == nMachines {
+		return fmt.Errorf("scenario %q: every machine starts down", s.Name)
+	}
+	for i, e := range s.Events {
+		if e.Tick < 0 {
+			return fmt.Errorf("scenario %q: event %d (%s) at negative tick", s.Name, i, e)
+		}
+		if e.Machine < 0 || e.Machine >= nMachines {
+			return fmt.Errorf("scenario %q: event %d (%s) machine out of range [0,%d)", s.Name, i, e, nMachines)
+		}
+		switch e.Kind {
+		case Fail:
+			if e.Policy != Requeue && e.Policy != Drop {
+				return fmt.Errorf("scenario %q: event %d (%s) has unknown policy %d", s.Name, i, e, int(e.Policy))
+			}
+		case Recover:
+			// No extra fields.
+		case Degrade:
+			if !(e.Factor > 0) || math.IsInf(e.Factor, 0) {
+				return fmt.Errorf("scenario %q: event %d (%s) needs a positive finite factor", s.Name, i, e)
+			}
+		default:
+			return fmt.Errorf("scenario %q: event %d has unknown kind %d", s.Name, i, int(e.Kind))
+		}
+	}
+	for i, b := range s.Bursts {
+		if b.Start < 0 || b.End <= b.Start {
+			return fmt.Errorf("scenario %q: burst %d window [%d,%d) is malformed", s.Name, i, b.Start, b.End)
+		}
+		if !(b.Factor > 0) || math.IsInf(b.Factor, 0) {
+			return fmt.Errorf("scenario %q: burst %d needs a positive finite factor, got %v", s.Name, i, b.Factor)
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by (tick, declaration order). The
+// simulator pushes events in this order so scenario files may declare them
+// in any order without perturbing determinism.
+func (s *Scenario) Sorted() []Event {
+	out := make([]Event, len(s.Events))
+	copy(out, s.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tick < out[j].Tick })
+	return out
+}
+
+// jsonScenario is the wire form of a Scenario.
+type jsonScenario struct {
+	Name        string      `json:"name"`
+	InitialDown []int       `json:"initial_down,omitempty"`
+	Events      []jsonEvent `json:"events,omitempty"`
+	Bursts      []jsonBurst `json:"bursts,omitempty"`
+}
+
+type jsonEvent struct {
+	Tick    int64    `json:"tick"`
+	Kind    string   `json:"kind"`
+	Machine int      `json:"machine"`
+	Factor  *float64 `json:"factor,omitempty"`
+	Policy  string   `json:"policy,omitempty"`
+}
+
+type jsonBurst struct {
+	Start  int64   `json:"start"`
+	End    int64   `json:"end"`
+	Factor float64 `json:"factor"`
+}
+
+// Parse reads a JSON scenario. Structural problems (unknown kinds or
+// policies, NaN factors smuggled in as strings, missing fields) fail here;
+// fleet-dependent checks happen in Validate, which the simulator calls with
+// the PET's machine count.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var in jsonScenario
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s := &Scenario{Name: in.Name, InitialDown: in.InitialDown}
+	for i, je := range in.Events {
+		e := Event{Tick: je.Tick, Machine: je.Machine}
+		switch je.Kind {
+		case "fail", "remove", "leave":
+			e.Kind = Fail
+			switch je.Policy {
+			case "", "requeue":
+				e.Policy = Requeue
+			case "drop":
+				e.Policy = Drop
+			default:
+				return nil, fmt.Errorf("scenario: event %d has unknown policy %q", i, je.Policy)
+			}
+		case "recover", "add", "join":
+			e.Kind = Recover
+		case "degrade":
+			if je.Factor == nil {
+				return nil, fmt.Errorf("scenario: event %d (degrade) is missing its factor", i)
+			}
+			e.Kind = Degrade
+			e.Factor = *je.Factor
+		case "restore":
+			e.Kind = Degrade
+			e.Factor = 1
+		default:
+			return nil, fmt.Errorf("scenario: event %d has unknown kind %q", i, je.Kind)
+		}
+		s.Events = append(s.Events, e)
+	}
+	for _, jb := range in.Bursts {
+		s.Bursts = append(s.Bursts, workload.Burst{Start: jb.Start, End: jb.End, Factor: jb.Factor})
+	}
+	return s, nil
+}
+
+// Load parses the scenario file at path.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// MarshalJSON implements json.Marshaler so scenarios round-trip through the
+// same wire form Parse reads.
+func (s *Scenario) MarshalJSON() ([]byte, error) {
+	out := jsonScenario{Name: s.Name, InitialDown: s.InitialDown}
+	for _, e := range s.Events {
+		je := jsonEvent{Tick: e.Tick, Kind: e.Kind.String(), Machine: e.Machine}
+		switch e.Kind {
+		case Fail:
+			je.Policy = e.Policy.String()
+		case Degrade:
+			f := e.Factor
+			je.Factor = &f
+		}
+		out.Events = append(out.Events, je)
+	}
+	for _, b := range s.Bursts {
+		out.Bursts = append(out.Bursts, jsonBurst{Start: b.Start, End: b.End, Factor: b.Factor})
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuildersAndValidate(t *testing.T) {
+	s := New("churn").
+		StartDown(3).
+		FailAt(500, 1, Requeue).
+		RecoverAt(900, 1).
+		DegradeAt(1200, 0, 2.5).
+		RecoverAt(1500, 3).
+		BurstWindow(300, 600, 3)
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	if s.IsStatic() {
+		t.Error("scenario with events reported static")
+	}
+	if !New("empty").IsStatic() || !(*Scenario)(nil).IsStatic() {
+		t.Error("empty and nil scenarios must be static")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Scenario
+		n    int
+	}{
+		{"machine out of range", New("x").FailAt(10, 5, Requeue), 4},
+		{"negative machine", New("x").RecoverAt(10, -1), 4},
+		{"negative tick", New("x").FailAt(-1, 0, Requeue), 4},
+		{"zero factor", New("x").DegradeAt(10, 0, 0), 4},
+		{"negative factor", New("x").DegradeAt(10, 0, -2), 4},
+		{"NaN factor", New("x").DegradeAt(10, 0, nan()), 4},
+		{"inf factor", New("x").DegradeAt(10, 0, inf()), 4},
+		{"initial_down out of range", New("x").StartDown(9), 4},
+		{"initial_down duplicate", New("x").StartDown(1, 1), 4},
+		{"all machines down", New("x").StartDown(0, 1), 2},
+		{"inverted burst", New("x").BurstWindow(600, 300, 2), 4},
+		{"empty burst", New("x").BurstWindow(300, 300, 2), 4},
+		{"zero burst factor", New("x").BurstWindow(0, 10, 0), 4},
+		{"unknown kind", &Scenario{Events: []Event{{Tick: 1, Kind: EventKind(42)}}}, 4},
+		{"unknown policy", &Scenario{Events: []Event{{Tick: 1, Kind: Fail, Policy: Policy(7)}}}, 4},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(c.n); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func nan() float64 { f := 0.0; return f / f }
+func inf() float64 { f := 1.0; return f / 0.0 }
+
+func TestSortedIsStableByTick(t *testing.T) {
+	s := New("x").
+		RecoverAt(100, 2).
+		FailAt(50, 0, Drop).
+		DegradeAt(100, 1, 2). // same tick as the recover: declaration order must hold
+		FailAt(10, 1, Requeue)
+	got := s.Sorted()
+	wantTicks := []int64{10, 50, 100, 100}
+	for i, e := range got {
+		if e.Tick != wantTicks[i] {
+			t.Fatalf("sorted[%d].Tick = %d, want %d", i, e.Tick, wantTicks[i])
+		}
+	}
+	if got[2].Kind != Recover || got[3].Kind != Degrade {
+		t.Errorf("tie at tick 100 broke declaration order: %v then %v", got[2], got[3])
+	}
+	// Sorted must not mutate the declared order.
+	if s.Events[0].Tick != 100 {
+		t.Error("Sorted mutated the scenario's event slice")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `{
+		"name": "fail-recover",
+		"initial_down": [2],
+		"events": [
+			{"tick": 500, "kind": "fail", "machine": 1, "policy": "requeue"},
+			{"tick": 700, "kind": "fail", "machine": 0, "policy": "drop"},
+			{"tick": 900, "kind": "recover", "machine": 1},
+			{"tick": 950, "kind": "join", "machine": 2},
+			{"tick": 1200, "kind": "degrade", "machine": 0, "factor": 2.0},
+			{"tick": 1500, "kind": "restore", "machine": 0}
+		],
+		"bursts": [{"start": 300, "end": 600, "factor": 3.0}]
+	}`
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "fail-recover" || len(s.Events) != 6 || len(s.Bursts) != 1 || len(s.InitialDown) != 1 {
+		t.Fatalf("parsed scenario shape wrong: %+v", s)
+	}
+	if s.Events[0].Kind != Fail || s.Events[0].Policy != Requeue {
+		t.Errorf("event 0 = %v", s.Events[0])
+	}
+	if s.Events[1].Policy != Drop {
+		t.Errorf("event 1 policy = %v", s.Events[1].Policy)
+	}
+	if s.Events[3].Kind != Recover {
+		t.Errorf("join alias: %v", s.Events[3])
+	}
+	if s.Events[5].Kind != Degrade || s.Events[5].Factor != 1 {
+		t.Errorf("restore alias: %v", s.Events[5])
+	}
+
+	// Marshal and re-parse: must be the same scenario.
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("re-parse of marshaled scenario: %v\n%s", err, blob)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Errorf("round trip changed the scenario:\nfirst:  %+v\nsecond: %+v", s, again)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not json", "nope"},
+		{"unknown field", `{"name":"x","bogus":1}`},
+		{"unknown kind", `{"events":[{"tick":1,"kind":"explode","machine":0}]}`},
+		{"unknown policy", `{"events":[{"tick":1,"kind":"fail","machine":0,"policy":"shrug"}]}`},
+		{"degrade missing factor", `{"events":[{"tick":1,"kind":"degrade","machine":0}]}`},
+		{"string tick", `{"events":[{"tick":"soon","kind":"fail","machine":0}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/scenario.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"taskprune/internal/metrics"
 	"taskprune/internal/pet"
 	"taskprune/internal/pmf"
+	"taskprune/internal/scenario"
 	"taskprune/internal/stats"
 	"taskprune/internal/trace"
 	"taskprune/internal/workload"
@@ -17,12 +18,14 @@ import (
 func runTraced(t *testing.T, cfg Config, matrix *pet.Matrix, seed int64) ([]trace.Event, metrics.TrialStats) {
 	t.Helper()
 	rng := stats.NewRNG(seed)
-	tasks, err := workload.Generate(workload.Config{
+	wcfg := workload.Config{
 		NumTasks: 250,
 		Rate:     workload.RateForLevel(workload.Level34k),
 		VarFrac:  0.10,
 		Beta:     2.0,
-	}, matrix, rng)
+	}
+	cfg.Scenario.ApplyBursts(&wcfg)
+	tasks, err := workload.Generate(wcfg, matrix, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +96,64 @@ func TestCachedEvalEquivalenceMOC(t *testing.T) {
 		evN, stN := runTraced(t, naive, matrix, 7)
 		if !reflect.DeepEqual(evC, evN) || !reflect.DeepEqual(stC, stN) {
 			t.Fatalf("mode %v: cached and naive MOC runs diverge", mode)
+		}
+	}
+}
+
+// TestCachedEvalEquivalenceUnderScenario is the churn counterpart: fleet
+// events invalidate evaluation-cache columns and tail memos mid-trial
+// (failure empties a queue, recovery revives a column, degradation swaps
+// every scaled profile on a machine), and the cached run must still retrace
+// the naive run byte for byte through all of it.
+func TestCachedEvalEquivalenceUnderScenario(t *testing.T) {
+	matrix := simPET(t)
+	scenarios := map[string]*scenario.Scenario{
+		"fail-requeue-recover": scenario.New("frr").
+			FailAt(300, 1, scenario.Requeue).
+			RecoverAt(600, 1),
+		"fail-drop": scenario.New("fd").
+			FailAt(250, 0, scenario.Drop).
+			RecoverAt(500, 0),
+		"degrade-mid-trial": scenario.New("deg").
+			DegradeAt(200, 0, 2).
+			DegradeAt(700, 0, 1).
+			DegradeAt(350, 1, 1.5),
+		"everything-at-once": scenario.New("all").
+			StartDown(1).
+			RecoverAt(150, 1).
+			DegradeAt(250, 0, 2.5).
+			FailAt(400, 0, scenario.Requeue).
+			RecoverAt(650, 0).
+			BurstWindow(100, 500, 3),
+	}
+	for _, name := range []string{"PAM", "PAMF", "MOC"} {
+		for scName, sc := range scenarios {
+			t.Run(name+"/"+scName, func(t *testing.T) {
+				cfg := MustConfigFor(name, matrix)
+				cfg.Scenario = sc
+
+				cached := cfg
+				cached.NaiveEval = false
+				naive := cfg
+				naive.NaiveEval = true
+
+				for seed := int64(1); seed <= 2; seed++ {
+					evC, stC := runTraced(t, cached, matrix, seed)
+					evN, stN := runTraced(t, naive, matrix, seed)
+					if !reflect.DeepEqual(evC, evN) {
+						for i := range evC {
+							if i >= len(evN) || evC[i] != evN[i] {
+								t.Fatalf("seed %d: traces diverge at event %d: cached %v, naive %v",
+									seed, i, evC[i], evN[i])
+							}
+						}
+						t.Fatalf("seed %d: cached trace has %d events, naive %d", seed, len(evC), len(evN))
+					}
+					if !reflect.DeepEqual(stC, stN) {
+						t.Fatalf("seed %d: stats diverge:\ncached: %+v\nnaive:  %+v", seed, stC, stN)
+					}
+				}
+			})
 		}
 	}
 }

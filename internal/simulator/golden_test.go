@@ -1,0 +1,119 @@
+package simulator
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taskprune/internal/scenario"
+	"taskprune/internal/stats"
+	"taskprune/internal/trace"
+	"taskprune/internal/workload"
+)
+
+// Golden decision-trace regression tests: each heuristic's full decision
+// stream on a fixed seed is committed under testdata/ and must replay byte
+// for byte. Any future cache, refactor, or optimization PR that silently
+// changes a scheduling decision — even one deferred task or one tie broken
+// the other way — fails here instead of shipping. Regenerate with
+//
+//	go test ./internal/simulator/ -run Golden -update
+//
+// and review the diff like any other behavior change.
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenTrace runs the fixed golden workload (150 tasks, seed 42, heavy
+// oversubscription on the 2×2 test PET) under the named heuristic and an
+// optional scenario, returning the trace in its canonical CSV form.
+func goldenTrace(t *testing.T, name string, sc *scenario.Scenario) []byte {
+	t.Helper()
+	matrix := simPET(t)
+	cfg := baseConfig(t, name, matrix)
+	cfg.Scenario = sc
+	wcfg := workload.Config{NumTasks: 150, Rate: 0.2, VarFrac: 0.10, Beta: 2.0}
+	sc.ApplyBursts(&wcfg)
+	tasks, err := workload.Generate(wcfg, matrix, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// goldenChurn is the committed scenario variant: a mid-trial failure with
+// requeue, a later recovery, a degradation window, and an arrival burst.
+func goldenChurn() *scenario.Scenario {
+	return scenario.New("golden-churn").
+		DegradeAt(150, 0, 2).
+		FailAt(250, 1, scenario.Requeue).
+		RecoverAt(500, 1).
+		DegradeAt(650, 0, 1).
+		BurstWindow(100, 400, 2)
+}
+
+func checkGolden(t *testing.T, file string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if bytes.Equal(want, got) {
+		return
+	}
+	// Locate the first divergent line for an actionable failure message.
+	wantLines := bytes.Split(want, []byte("\n"))
+	gotLines := bytes.Split(got, []byte("\n"))
+	n := len(wantLines)
+	if len(gotLines) < n {
+		n = len(gotLines)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wantLines[i], gotLines[i]) {
+			t.Fatalf("%s: decision trace diverges at line %d:\n  golden: %s\n  got:    %s",
+				file, i+1, wantLines[i], gotLines[i])
+		}
+	}
+	t.Fatalf("%s: trace length changed: golden %d lines, got %d", file, len(wantLines), len(gotLines))
+}
+
+func TestGoldenTracePAM(t *testing.T) { checkGolden(t, "golden_PAM.csv", goldenTrace(t, "PAM", nil)) }
+func TestGoldenTracePAMF(t *testing.T) {
+	checkGolden(t, "golden_PAMF.csv", goldenTrace(t, "PAMF", nil))
+}
+func TestGoldenTraceMOC(t *testing.T) { checkGolden(t, "golden_MOC.csv", goldenTrace(t, "MOC", nil)) }
+func TestGoldenTraceMM(t *testing.T)  { checkGolden(t, "golden_MM.csv", goldenTrace(t, "MM", nil)) }
+
+func TestGoldenTraceChurnPAM(t *testing.T) {
+	checkGolden(t, "golden_churn_PAM.csv", goldenTrace(t, "PAM", goldenChurn()))
+}
+func TestGoldenTraceChurnPAMF(t *testing.T) {
+	checkGolden(t, "golden_churn_PAMF.csv", goldenTrace(t, "PAMF", goldenChurn()))
+}
+func TestGoldenTraceChurnMOC(t *testing.T) {
+	checkGolden(t, "golden_churn_MOC.csv", goldenTrace(t, "MOC", goldenChurn()))
+}

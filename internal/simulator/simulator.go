@@ -16,6 +16,7 @@ import (
 	"taskprune/internal/pet"
 	"taskprune/internal/pmf"
 	"taskprune/internal/pruner"
+	"taskprune/internal/scenario"
 	"taskprune/internal/task"
 	"taskprune/internal/trace"
 )
@@ -85,6 +86,13 @@ type Config struct {
 	// identical either way (asserted by the cache equivalence tests); this
 	// exists for those tests and for measuring what the cache buys.
 	NaiveEval bool
+	// Scenario, when non-nil and non-static, injects timed fleet events —
+	// machine failures (queues requeued or dropped), recoveries, and
+	// performance degradations — into the trial. Fleet events are mapping
+	// events: the heuristic re-maps immediately after each one. Burst
+	// windows declared by the scenario shape the workload, not the
+	// simulator; apply them at generation time (experiments does this).
+	Scenario *scenario.Scenario
 }
 
 // ConfigFor returns the evaluation configuration the paper uses for the
@@ -152,11 +160,16 @@ type Simulator struct {
 	taskScratch []*task.Task
 	gone        map[*task.Task]bool
 
+	// fleetEvents is the scenario's event list in scheduling order; eventq
+	// Fleet events carry indices into it.
+	fleetEvents []scenario.Event
+
 	now              int64
 	missedSinceEvent int
 	droppedByPruner  int
 	evicted          int
 	preempted        int
+	requeued         int
 	mappingEvents    int
 }
 
@@ -192,6 +205,9 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Prices != nil && len(cfg.Prices) != cfg.PET.NumMachines() {
 		return nil, fmt.Errorf("simulator: %d prices for %d machines", len(cfg.Prices), cfg.PET.NumMachines())
 	}
+	if err := cfg.Scenario.Validate(cfg.PET.NumMachines()); err != nil {
+		return nil, fmt.Errorf("simulator: %w", err)
+	}
 	s := &Simulator{
 		cfg:       cfg,
 		tasks:     make(map[int]*task.Task),
@@ -205,6 +221,11 @@ func New(cfg Config) (*Simulator, error) {
 			price = cfg.Prices[mi]
 		}
 		s.machines = append(s.machines, machine.New(mi, fmt.Sprintf("m%d", mi), cfg.QueueCap, price))
+	}
+	if cfg.Scenario != nil {
+		for _, mi := range cfg.Scenario.InitialDown {
+			s.machines[mi].Fail(0) // absent at tick 0; a Recover event joins it
+		}
 	}
 	if cfg.Pruner != nil && cfg.Heuristic.UsesPruning() {
 		s.pruner = pruner.New(*cfg.Pruner)
@@ -225,6 +246,15 @@ func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
 		s.tasks[t.ID] = t
 		s.events.Push(eventq.Event{Tick: t.Arrival, Kind: eventq.Arrival, TaskID: t.ID})
 	}
+	if sc := s.cfg.Scenario; !sc.IsStatic() {
+		// Fleet events are scheduled up front in (tick, declaration) order;
+		// at equal ticks they fire after arrivals (arrivals were pushed
+		// first), which is as deterministic as any other choice.
+		s.fleetEvents = sc.Sorted()
+		for i, fe := range s.fleetEvents {
+			s.events.Push(eventq.Event{Tick: fe.Tick, Kind: eventq.Fleet, TaskID: i, Machine: fe.Machine})
+		}
+	}
 	for {
 		e, ok := s.events.Pop()
 		if !ok {
@@ -239,6 +269,8 @@ func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
 			if !s.handleCompletion(e) {
 				continue // stale completion for an already-dropped task
 			}
+		case eventq.Fleet:
+			s.handleFleetEvent(s.fleetEvents[e.TaskID])
 		}
 		s.dropExpired()
 		s.mappingEvent()
@@ -257,6 +289,61 @@ func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
 	return st, nil
 }
 
+// handleFleetEvent applies one scenario fleet change. Fleet events are
+// mapping events: the event loop runs dropExpired/mappingEvent right after,
+// so surviving tasks are re-mapped against the new fleet immediately.
+func (s *Simulator) handleFleetEvent(ev scenario.Event) {
+	m := s.machines[ev.Machine]
+	switch ev.Kind {
+	case scenario.Fail:
+		// A task whose genuine completion falls on this very tick has
+		// finished its work: its completion event is merely queued behind
+		// this fleet event (fleet events are scheduled up front, completions
+		// as runs start). Complete it rather than count finished work as
+		// lost; the queued completion event then no-ops as stale.
+		if ex := m.Executing(); ex != nil {
+			due := ex.Start + runRemaining(ex, m)
+			if s.cfg.EvictAtDeadline && due > ex.Deadline {
+				due = ex.Deadline
+			}
+			if due == s.now {
+				s.handleCompletion(eventq.Event{Tick: s.now, Kind: eventq.Completion, TaskID: ex.ID, Machine: m.ID})
+			}
+		}
+		held := m.Fail(s.now)
+		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.MachineFailed, TaskID: -1, Machine: m.ID})
+		for _, t := range held {
+			if ev.Policy == scenario.Drop {
+				s.exitTask(t, task.StateDropped)
+				continue
+			}
+			// Requeue: the task returns to the batch queue as if never
+			// mapped; execution progress on the dead machine is lost (true
+			// execution times differ per machine, so partial work does not
+			// transfer).
+			t.State = task.StatePending
+			t.Machine = -1
+			t.Consumed = 0
+			s.batch = append(s.batch, t)
+			s.requeued++
+			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskRequeued, TaskID: t.ID, Machine: -1})
+		}
+	case scenario.Recover:
+		m.Recover()
+		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.MachineRecovered, TaskID: -1, Machine: m.ID})
+	case scenario.Degrade:
+		m.SetSpeed(ev.Factor)
+		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.MachineDegraded, TaskID: -1, Machine: m.ID, Value: ev.Factor})
+	}
+}
+
+// runRemaining returns the wall-clock ticks the executing task of m still
+// owes: its nominal remaining execution stretched by the degradation factor
+// its run started under.
+func runRemaining(t *task.Task, m *machine.Machine) int64 {
+	return pmf.ScaleDur(t.Remaining(m.ID), m.RunFactor())
+}
+
 // handleCompletion finalizes a machine's executing task. It returns false
 // when the event is stale (the task was pruned after scheduling).
 func (s *Simulator) handleCompletion(e eventq.Event) bool {
@@ -265,25 +352,27 @@ func (s *Simulator) handleCompletion(e eventq.Event) bool {
 	if ex == nil || ex.ID != e.TaskID {
 		return false
 	}
-	// Guard against a stale event from a run that was preempted and
-	// restarted: the genuine completion tick of the *current* run is
-	// start + remaining (clamped to the deadline under eviction).
-	expected := ex.Start + ex.Remaining(m.ID)
+	// Guard against a stale event from a run that was preempted (or lost to
+	// a machine failure) and restarted: the genuine completion tick of the
+	// *current* run is start + remaining — stretched by the degradation
+	// factor the run started under — clamped to the deadline under eviction.
+	expected := ex.Start + runRemaining(ex, m)
 	if s.cfg.EvictAtDeadline && expected > ex.Deadline {
 		expected = ex.Deadline
 	}
 	if s.now != expected {
 		return false
 	}
+	trueFinish := ex.Start + runRemaining(ex, m)
 	m.FinishExecuting(s.now)
-	trueFinish := ex.Start + ex.Remaining(m.ID)
 	switch {
 	case s.cfg.EvictAtDeadline && trueFinish > ex.Deadline:
 		// The task was killed at its deadline (scenario C): it never fully
 		// completed. Under the approximate-computing extension, a task that
 		// already received enough of its execution exits with a degraded
-		// but useful result.
-		received := float64(ex.Consumed + (s.now - ex.Start))
+		// but useful result. Wall-clock ticks on a degraded machine convert
+		// back to nominal execution progress before the comparison.
+		received := float64(ex.Consumed) + float64(s.now-ex.Start)/m.RunFactor()
 		if s.cfg.ApproxFraction > 0 && received >= s.cfg.ApproxFraction*float64(ex.TrueExec[m.ID]) {
 			s.exitTask(ex, task.StateApprox)
 		} else {
@@ -423,10 +512,14 @@ func (s *Simulator) mappingEvent() {
 // chain, which is exactly how dropping improves the tasks behind them.
 func (s *Simulator) pruneQueues() {
 	for _, m := range s.machines {
+		if !m.Alive() {
+			continue // a dead machine holds nothing to prune
+		}
 		prev := s.arena.Impulse(s.now)
 		pos := 0
 		if ex := m.Executing(); ex != nil {
-			comp := s.arena.ShiftConditioned(s.cfg.PET.PMF(ex.Type, m.ID), ex.Start-ex.Consumed, s.now)
+			f := m.RunFactor()
+			comp := s.arena.ShiftConditioned(s.cfg.PET.ScaledPMF(ex.Type, m.ID, f), ex.Start-pmf.ScaleDur(ex.Consumed, f), s.now)
 			rob := comp.SuccessProb(ex.Deadline)
 			skew := comp.BoundedSkewness()
 			if s.pruner.ShouldDrop(rob, skew, pos, s.sufferage(ex.Type)) {
@@ -434,8 +527,9 @@ func (s *Simulator) pruneQueues() {
 				threshold := s.pruner.DropThresholdFor(skew, pos, s.sufferage(ex.Type))
 				if s.cfg.Preempt && rob > s.cfg.PreemptGrayFraction*threshold {
 					// Gray zone: pause with progress retained instead of
-					// discarding the work done so far.
-					ex.Consumed += s.now - ex.Start
+					// discarding the work done so far (wall ticks convert
+					// back to nominal progress on a degraded machine).
+					ex.Consumed += pmf.UnscaleDur(s.now-ex.Start, f)
 					ex.Preemptions++
 					s.preempted++
 					if err := m.Enqueue(ex); err != nil {
@@ -462,9 +556,9 @@ func (s *Simulator) pruneQueues() {
 		}
 		s.taskScratch = append(s.taskScratch[:0], m.Pending()...)
 		for _, t := range s.taskScratch {
-			exec := s.cfg.PET.PMF(t.Type, m.ID)
+			exec := s.cfg.PET.ScaledPMF(t.Type, m.ID, m.Speed())
 			if t.Consumed > 0 {
-				exec = exec.RemainingAfter(t.Consumed) // preempted: partial credit
+				exec = exec.RemainingAfter(pmf.ScaleDur(t.Consumed, m.Speed())) // preempted: partial credit
 			}
 			res := s.arena.ConvolveDrop(prev, exec, t.Deadline, s.cfg.Mode)
 			if s.pruner.ShouldDrop(res.Success, res.Free.BoundedSkewness(), pos, s.sufferage(t.Type)) {
@@ -498,7 +592,7 @@ func (s *Simulator) startIdleMachines() {
 			continue
 		}
 		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskStarted, TaskID: t.ID, Machine: m.ID})
-		finish := s.now + t.Remaining(m.ID)
+		finish := s.now + runRemaining(t, m)
 		if s.cfg.EvictAtDeadline && finish > t.Deadline {
 			finish = t.Deadline // killed at the deadline, machine freed
 		}
@@ -545,6 +639,10 @@ func (s *Simulator) Evicted() int { return s.evicted }
 // Preempted returns how many times the pruner paused an executing task
 // instead of dropping it (preemption extension).
 func (s *Simulator) Preempted() int { return s.preempted }
+
+// Requeued returns how many tasks machine failures returned to the batch
+// queue (scenario engine).
+func (s *Simulator) Requeued() int { return s.requeued }
 
 // MappingEvents returns how many mapping events fired.
 func (s *Simulator) MappingEvents() int { return s.mappingEvents }

@@ -36,6 +36,16 @@ const (
 	PrunerEngaged
 	// PrunerDisengaged: the detector switched dropping off.
 	PrunerDisengaged
+	// MachineFailed: a scenario event took a machine out of the fleet.
+	MachineFailed
+	// MachineRecovered: a scenario event returned a machine to the fleet.
+	MachineRecovered
+	// MachineDegraded: a scenario event changed a machine's speed factor
+	// (Value carries the new factor).
+	MachineDegraded
+	// TaskRequeued: a machine failure returned a queued or executing task
+	// to the batch queue (its progress, if any, is lost).
+	TaskRequeued
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +71,14 @@ func (k Kind) String() string {
 		return "pruner-on"
 	case PrunerDisengaged:
 		return "pruner-off"
+	case MachineFailed:
+		return "m-failed"
+	case MachineRecovered:
+		return "m-recovered"
+	case MachineDegraded:
+		return "m-degraded"
+	case TaskRequeued:
+		return "requeued"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

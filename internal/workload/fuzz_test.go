@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hammers the workload CSV parser with arbitrary input: it must
+// never panic, and everything it accepts must be a structurally sound
+// workload (correct exec-time fan-out, deadlines after arrivals, IDs in
+// arrival order) that survives a write→read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,type,arrival,deadline,true_exec_per_machine\n0,0,0,100,10;20\n", 2)
+	f.Add("0,0,0,100,10;20\n1,1,5,200,30;40\n", 2)
+	f.Add("0,0,5,100,10\n", 1)
+	f.Add("0,0,0,100,10;20;30\n", 2)    // machine-count mismatch
+	f.Add("0,0,100,50,10;20\n", 2)      // deadline before arrival
+	f.Add("0,0,0,100,0;20\n", 2)        // exec < 1
+	f.Add("0,0,0,100,-7;20\n", 2)       // negative exec
+	f.Add("0,0,NaN,100,10;20\n", 2)     // non-numeric arrival
+	f.Add("0,0,0,1e18,10;20\n", 2)      // float deadline
+	f.Add("0,0,0,100,10;20,extra\n", 2) // field-count mismatch
+	f.Add("id,type,arrival,deadline,true_exec_per_machine\n", 2)
+	f.Add("", 3)
+	f.Add("0,0,9223372036854775807,9223372036854775807,1;1\n", 2) // overflow edges
+	f.Fuzz(func(t *testing.T, src string, nMachines int) {
+		if nMachines < 1 || nMachines > 16 {
+			return
+		}
+		tasks, err := ReadCSV(strings.NewReader(src), nMachines)
+		if err != nil {
+			return // rejected: fine, as long as it never panics
+		}
+		prev := int64(-1 << 62)
+		for i, tk := range tasks {
+			if tk.ID != i {
+				t.Fatalf("task %d has ID %d (IDs must be reassigned in order)", i, tk.ID)
+			}
+			if len(tk.TrueExec) != nMachines {
+				t.Fatalf("task %d has %d exec times for %d machines", i, len(tk.TrueExec), nMachines)
+			}
+			for mi, e := range tk.TrueExec {
+				if e < 1 {
+					t.Fatalf("task %d exec[%d] = %d < 1 accepted", i, mi, e)
+				}
+			}
+			if tk.Deadline <= tk.Arrival {
+				t.Fatalf("task %d deadline %d <= arrival %d accepted", i, tk.Deadline, tk.Arrival)
+			}
+			if tk.Arrival < prev {
+				t.Fatalf("task %d out of arrival order", i)
+			}
+			prev = tk.Arrival
+		}
+		// Round trip: what we write, we must read back identically.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tasks); err != nil {
+			t.Fatalf("WriteCSV of accepted workload failed: %v", err)
+		}
+		again, err := ReadCSV(bytes.NewReader(buf.Bytes()), nMachines)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again) != len(tasks) {
+			t.Fatalf("round trip changed task count: %d vs %d", len(again), len(tasks))
+		}
+		for i := range tasks {
+			a, b := tasks[i], again[i]
+			if a.Type != b.Type || a.Arrival != b.Arrival || a.Deadline != b.Deadline {
+				t.Fatalf("round trip changed task %d: %v vs %v", i, a, b)
+			}
+			for mi := range a.TrueExec {
+				if a.TrueExec[mi] != b.TrueExec[mi] {
+					t.Fatalf("round trip changed task %d exec[%d]", i, mi)
+				}
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"taskprune/internal/pet"
@@ -28,6 +29,33 @@ type Config struct {
 	// Beta is the deadline slack coefficient β in
 	// δ_i = arr_i + avg_i + β·avg_all.
 	Beta float64
+	// Bursts, when non-empty, are arrival-rate burst windows (scenario
+	// engine): while a type's arrival clock sits inside a window, its
+	// inter-arrival gaps shrink by the window's factor. The number of RNG
+	// draws is unchanged, so adding a burst never desynchronizes the
+	// execution-time sampling stream.
+	Bursts []Burst
+}
+
+// Burst is one arrival-rate burst window: gaps drawn while the arrival
+// clock is in [Start, End) are divided by Factor (> 1 means a surge,
+// < 1 a lull).
+type Burst struct {
+	Start  int64
+	End    int64
+	Factor float64
+}
+
+// factorAt returns the burst factor in effect at the given arrival clock
+// (1 outside every window; overlapping windows multiply).
+func factorAt(bursts []Burst, clock float64) float64 {
+	f := 1.0
+	for _, b := range bursts {
+		if clock >= float64(b.Start) && clock < float64(b.End) {
+			f *= b.Factor
+		}
+	}
+	return f
 }
 
 // Validate reports configuration errors early.
@@ -43,6 +71,14 @@ func (c Config) Validate() error {
 	}
 	if c.Beta < 0 {
 		return fmt.Errorf("workload: Beta must be non-negative, got %v", c.Beta)
+	}
+	for i, b := range c.Bursts {
+		if b.Start < 0 || b.End <= b.Start {
+			return fmt.Errorf("workload: burst %d window [%d,%d) is malformed", i, b.Start, b.End)
+		}
+		if !(b.Factor > 0) || math.IsInf(b.Factor, 0) {
+			return fmt.Errorf("workload: burst %d factor must be positive and finite, got %v", i, b.Factor)
+		}
 	}
 	return nil
 }
@@ -80,7 +116,7 @@ func Generate(cfg Config, matrix *pet.Matrix, rng *stats.RNG) ([]*task.Task, err
 		avgType := matrix.TypeMeanAcrossMachines(typ)
 		var clock float64
 		for k := 0; k < perTypeCount; k++ {
-			clock += arrivalRNG.GammaRate(perTypeMeanGap, cfg.VarFrac)
+			clock += arrivalRNG.GammaRate(perTypeMeanGap, cfg.VarFrac) / factorAt(cfg.Bursts, clock)
 			arr := int64(clock)
 			deadline := arr + int64(avgType+cfg.Beta*avgAll+0.5)
 			all = append(all, task.New(0, typ, arr, deadline))

@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench_guard.sh: allocation-regression tripwire. Runs the single-trial PAM
+# benchmark once and fails if its allocs/op exceed 2x the committed baseline
+# (BENCH_<date>.json, written by `make bench`). Time per op is too noisy for
+# shared CI runners to gate on; the allocation count is deterministic, and
+# it is exactly what the arena/cache engineering of PR 1 bought.
+set -eu
+
+baseline_file=${1:-BENCH_20260728.json}
+
+base=$(grep 'BenchmarkSingleTrialPAM"' "$baseline_file" |
+	grep -o '"allocs/op":[0-9]*' | head -n1 | cut -d: -f2)
+if [ -z "$base" ]; then
+	echo "bench-guard: no BenchmarkSingleTrialPAM entry in $baseline_file" >&2
+	exit 1
+fi
+
+out=$(go test -run xxx -bench 'BenchmarkSingleTrialPAM$' -benchtime 1x -benchmem .)
+echo "$out"
+now=$(echo "$out" | awk '/^BenchmarkSingleTrialPAM/ {
+	for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }' | head -n1)
+if [ -z "$now" ]; then
+	echo "bench-guard: BenchmarkSingleTrialPAM did not run" >&2
+	exit 1
+fi
+
+limit=$((base * 2))
+echo "bench-guard: allocs/op now=$now baseline=$base limit=$limit"
+if [ "$now" -gt "$limit" ]; then
+	echo "bench-guard: allocs/op regressed more than 2x against $baseline_file" >&2
+	exit 1
+fi

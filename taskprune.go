@@ -66,6 +66,7 @@ import (
 	"taskprune/internal/pet"
 	"taskprune/internal/pmf"
 	"taskprune/internal/pruner"
+	"taskprune/internal/scenario"
 	"taskprune/internal/simulator"
 	"taskprune/internal/stats"
 	"taskprune/internal/task"
@@ -120,6 +121,21 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceEvent is one recorded simulator decision.
 	TraceEvent = trace.Event
+	// Scenario declares dynamic fleet events (failures, recoveries,
+	// degradations) and arrival bursts for a trial.
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one timed fleet change.
+	ScenarioEvent = scenario.Event
+	// Burst is an arrival-rate burst window.
+	Burst = workload.Burst
+)
+
+// Failure policies for scenario machine failures.
+const (
+	// RequeueOnFailure returns a failed machine's tasks to the batch queue.
+	RequeueOnFailure = scenario.Requeue
+	// DropOnFailure exits a failed machine's tasks as dropped.
+	DropOnFailure = scenario.Drop
 )
 
 // Constructors and helpers re-exported from the internal packages.
@@ -174,6 +190,16 @@ var (
 	WriteWorkloadCSV = workload.WriteCSV
 	// ReadWorkloadCSV parses a workload trace in wlgen's CSV schema.
 	ReadWorkloadCSV = workload.ReadCSV
+	// NewScenario returns an empty named fleet scenario for the builder
+	// methods (FailAt, RecoverAt, DegradeAt, BurstWindow, StartDown).
+	NewScenario = scenario.New
+	// ParseScenario reads a JSON fleet scenario.
+	ParseScenario = scenario.Parse
+	// LoadScenario parses the JSON fleet-scenario file at a path.
+	LoadScenario = scenario.Load
+	// FaultScenario is the canned mid-trial churn used by the scen-fault
+	// experiment.
+	FaultScenario = experiments.FaultScenario
 )
 
 // Oversubscription level labels used by the paper's figures.
