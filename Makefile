@@ -13,7 +13,7 @@ vet:
 test:
 	$(GO) test ./...
 
-ci: vet build test golden bench-smoke bench-guard
+ci: vet build test golden race-stream bench-smoke bench-guard
 
 # Golden decision-trace determinism: the committed traces must replay byte
 # for byte, twice, so flaky nondeterminism cannot hide behind test caching.
@@ -25,10 +25,15 @@ golden:
 golden-update:
 	$(GO) test -run Golden -update ./internal/simulator/
 
-# Allocation-regression tripwire: BenchmarkSingleTrialPAM allocs/op must
-# stay within 2x of the committed baseline.
+# Allocation-regression tripwire: every benchmark in the committed
+# baseline must stay within 2x of its recorded allocs/op and B/op.
 bench-guard:
 	./scripts/bench_guard.sh $(BENCH_BASELINE)
+
+# Race check of the parallel trial runner driven by pull-based streaming
+# sources (the new shared-state surface across workers).
+race-stream:
+	$(GO) test -race -run Streamed ./internal/experiments/
 
 # Quick throughput/allocation smoke: one full trial per heuristic class and
 # the convolution-core allocation guards.
@@ -42,6 +47,7 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem . | tee /tmp/bench_raw.txt
 	awk 'BEGIN { print "["; first = 1 } \
 	/^Benchmark/ { \
+		sub(/-[0-9]+$$/, "", $$1); \
 		if (!first) printf(",\n"); first = 0; \
 		printf("  {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $$1, $$2); \
 		sep = ""; \

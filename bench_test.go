@@ -163,6 +163,64 @@ func BenchmarkSingleTrialPAM(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleTrialChurn measures one full 800-task PAM trial under the
+// scen-fault fleet scenario (two failures with requeue, two recoveries, a
+// degradation window) so the allocation guard also pins the fleet-event
+// path: failures drain queues, requeues re-enter the batch, and every
+// fleet event forces a full re-mapping against the shrunken fleet.
+func BenchmarkSingleTrialChurn(b *testing.B) {
+	matrix := SPECPET()
+	cfg := MustConfigFor("PAM", matrix)
+	cfg.Scenario = FaultScenario()
+	for i := 0; i < b.N; i++ {
+		wcfg := WorkloadConfig{
+			NumTasks: 800, Rate: RateForLevel(Level19k), VarFrac: 0.10, Beta: 2.0,
+		}
+		cfg.Scenario.ApplyBursts(&wcfg)
+		tasks := MustGenerateWorkload(wcfg, matrix, NewRNG(int64(i)))
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamTrialPAM1M pushes one million tasks through a single PAM
+// trial fed by the constant-memory streaming source: arrivals are pulled
+// on demand, retired tasks recycle through the pool, and accounting runs
+// in streaming counters — so the reported B/op stays bounded by the live
+// set (fleet + in-flight tasks + pool high-water) instead of growing with
+// the task count. The arrivals/sec metric is the engine's end-to-end
+// streaming throughput.
+func BenchmarkStreamTrialPAM1M(b *testing.B) {
+	const numTasks = 1_000_000
+	matrix := SPECPET()
+	cfg := MustConfigFor("PAM", matrix)
+	for i := 0; i < b.N; i++ {
+		src, err := NewWorkloadStream(WorkloadConfig{
+			NumTasks: numTasks, Rate: RateForLevel(Level34k), VarFrac: 0.10, Beta: 2.0,
+		}, matrix, NewRNG(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := sim.RunSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Total != numTasks {
+			b.Fatalf("trial accounted %d of %d tasks", st.Total, numTasks)
+		}
+	}
+	b.ReportMetric(float64(numTasks)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/sec")
+}
+
 // BenchmarkSingleTrialMM is the baseline counterpart of
 // BenchmarkSingleTrialPAM (scalar heuristics skip all convolution work).
 func BenchmarkSingleTrialMM(b *testing.B) {

@@ -7,6 +7,7 @@
 //	hcsim -exp all -trials 10       # every figure, 10 trials per point
 //	hcsim -exp single -heuristic PAM -level 34000
 //	hcsim -exp single -heuristic PAM -scenario churn.json
+//	hcsim -exp single -heuristic PAM -tasks 1000000 -stream
 //	hcsim -exp scen-fault           # fleet-churn fault-tolerance study
 //	hcsim -exp fig5 -csv fig5.csv   # also export CSV
 //
@@ -43,12 +44,14 @@ func main() {
 		heuristic = flag.String("heuristic", "PAM", "heuristic for -exp single")
 		level     = flag.Float64("level", workload.Level34k, "oversubscription level for -exp single")
 		scenPath  = flag.String("scenario", "", "JSON fleet-scenario file for -exp single (failures, recoveries, degradations, bursts)")
+		stream    = flag.Bool("stream", false, "pull arrivals from the constant-memory streaming source (per-type RNG splits; workloads differ from the replay schedule at equal seeds), enabling -tasks far past materializable scale")
 	)
 	flag.Parse()
 
 	opts := experiments.Options{
 		Trials: *trials, Tasks: *tasks, Seed: *seed,
 		Workers: *workers, Beta: *beta, VarFrac: *varFrac,
+		Streamed: *stream,
 	}
 
 	if *exp == "single" {
@@ -161,7 +164,12 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 	}
 	sc.ApplyBursts(&wcfg)
 	rng := stats.NewRNG(opts.Seed)
-	tasksList, err := workload.Generate(wcfg, matrix, rng)
+	var src workload.Source
+	if opts.Streamed {
+		src, err = workload.NewStream(wcfg, matrix, rng)
+	} else {
+		src, err = workload.NewSource(wcfg, matrix, rng)
+	}
 	if err != nil {
 		return err
 	}
@@ -170,13 +178,18 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 		return err
 	}
 	start := time.Now()
-	st, err := sim.Run(tasksList)
+	st, err := sim.RunSource(src)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("%s @%s: robustness %.1f%% (completed %d / window %d; dropped %d, missed %d) in %v\n",
 		name, workload.LevelLabel(level), st.RobustnessPct, st.Completed, st.Window,
-		st.Dropped, st.Missed, time.Since(start).Round(time.Millisecond))
+		st.Dropped, st.Missed, elapsed.Round(time.Millisecond))
+	if opts.Streamed {
+		fmt.Printf("stream: %d tasks pulled at %.0f arrivals/sec (constant-memory source)\n",
+			st.Total, float64(st.Total)/elapsed.Seconds())
+	}
 	if sim.Pruner() != nil {
 		fmt.Printf("pruner: %d mapping events, %d pruner drops, %d evictions, final level %.2f\n",
 			sim.MappingEvents(), sim.DroppedByPruner(), sim.Evicted(), sim.Pruner().Level())

@@ -4,8 +4,6 @@
 // trials reproducible across runs and platforms.
 package eventq
 
-import "container/heap"
-
 // Kind distinguishes the simulator's event types.
 type Kind int
 
@@ -27,13 +25,14 @@ type Event struct {
 	TaskID  int // Arrival: task ID; Fleet: scenario event index
 	Machine int // valid for Completion
 	seq     uint64
-	index   int
 }
 
 // Queue is a deterministic min-heap of events. The zero value is ready to
-// use.
+// use. Events are stored by value, so a steady push/pop balance performs no
+// heap allocation once the backing array reaches its high-water mark — the
+// streaming simulator schedules millions of completions through one Queue.
 type Queue struct {
-	h   eventHeap
+	h   []Event
 	seq uint64
 }
 
@@ -41,57 +40,70 @@ type Queue struct {
 func (q *Queue) Push(e Event) {
 	e.seq = q.seq
 	q.seq++
-	heap.Push(&q.h, &e)
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. ok is false when empty.
 func (q *Queue) Pop() (Event, bool) {
-	if q.h.Len() == 0 {
+	if len(q.h) == 0 {
 		return Event{}, false
 	}
-	e := heap.Pop(&q.h).(*Event)
-	return *e, true
+	e := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = Event{}
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return e, true
 }
 
 // Peek returns the earliest event without removing it.
 func (q *Queue) Peek() (Event, bool) {
-	if q.h.Len() == 0 {
+	if len(q.h) == 0 {
 		return Event{}, false
 	}
-	return *q.h[0], true
+	return q.h[0], true
 }
 
 // Len returns the number of queued events.
-func (q *Queue) Len() int { return q.h.Len() }
+func (q *Queue) Len() int { return len(q.h) }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Tick != h[j].Tick {
-		return h[i].Tick < h[j].Tick
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].Tick != q.h[j].Tick {
+		return q.h[i].Tick < q.h[j].Tick
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (q *Queue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			return
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q.less(l, m) {
+			m = l
+		}
+		if r < n && q.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		q.h[i], q.h[m] = q.h[m], q.h[i]
+		i = m
+	}
 }

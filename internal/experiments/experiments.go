@@ -34,6 +34,11 @@ type Options struct {
 	Beta float64
 	// VarFrac is the arrival-gamma variance fraction (paper: 0.10).
 	VarFrac float64
+	// Streamed switches trials to the pure streaming arrival source
+	// (workload.NewStream): constant memory in the trial length, per-type
+	// RNG splits. Off, trials use the replay-mode source, whose workloads
+	// are byte-identical to the historical pre-generated slices.
+	Streamed bool
 }
 
 // DefaultOptions mirrors the paper's experimental scale.
@@ -144,13 +149,22 @@ func (o Options) RunPoint(matrix *pet.Matrix, wcfg workload.Config, simCfg simul
 	return results, nil
 }
 
-// runTrial generates and simulates one trial, writing its statistics into
+// runTrial simulates one trial end to end, writing its statistics into
 // out. A scenario on the simulator config also shapes the workload: its
-// burst windows apply at generation time.
+// burst windows apply to the arrival source. Arrivals are pulled from a
+// streaming source (replay mode by default, so results match the old
+// pre-generated slices byte for byte; pure-stream mode under Streamed), so
+// a trial's live heap holds in-flight tasks, not the whole workload.
 func (o Options) runTrial(trial int, matrix *pet.Matrix, wcfg workload.Config, simCfg simulator.Config, out *metrics.TrialStats) error {
 	rng := stats.NewRNG(TrialSeed(o.Seed, trial))
 	simCfg.Scenario.ApplyBursts(&wcfg)
-	tasks, err := workload.Generate(wcfg, matrix, rng)
+	var src workload.Source
+	var err error
+	if o.Streamed {
+		src, err = workload.NewStream(wcfg, matrix, rng)
+	} else {
+		src, err = workload.NewSource(wcfg, matrix, rng)
+	}
 	if err != nil {
 		return err
 	}
@@ -158,7 +172,7 @@ func (o Options) runTrial(trial int, matrix *pet.Matrix, wcfg workload.Config, s
 	if err != nil {
 		return err
 	}
-	st, err := sim.Run(tasks)
+	st, err := sim.RunSource(src)
 	if err != nil {
 		return err
 	}

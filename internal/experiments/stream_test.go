@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"taskprune/internal/simulator"
+	"taskprune/internal/workload"
+)
+
+// TestStreamedParallelDeterminism: pull-based sources put new per-trial
+// state (the arrival stream, its RNG splits, the shared task pool) inside
+// each worker goroutine; this pins that RunPoint with streamed trials is
+// race-free and yields identical statistics under any worker count. CI
+// runs this test under -race.
+func TestStreamedParallelDeterminism(t *testing.T) {
+	matrix := SPECPET()
+	o := Options{Trials: 8, Tasks: 200, Seed: 5, Beta: 2.0, VarFrac: 0.10, Streamed: true}
+	wcfg := o.workloadConfig(workload.Level19k)
+	run := func(workers int) []metricsStats {
+		o := o
+		o.Workers = workers
+		trials, err := o.RunPoint(matrix, wcfg, simulator.MustConfigFor("PAM", matrix))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]metricsStats, len(trials))
+		for i, tr := range trials {
+			out[i] = metricsStats{tr.RobustnessPct, tr.Completed, tr.Dropped, tr.Missed, tr.Total}
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("streamed trials depend on worker count:\n 1 worker:  %v\n 4 workers: %v", serial, parallel)
+	}
+}
+
+type metricsStats struct {
+	Robustness float64
+	Completed  int
+	Dropped    int
+	Missed     int
+	Total      int
+}
+
+// TestStreamedMatchesReplayScale: a streamed point must run the same
+// number of tasks through the same fleet as the replay path even though
+// its workloads differ draw for draw — the scale knobs thread through.
+func TestStreamedMatchesReplayScale(t *testing.T) {
+	matrix := SPECPET()
+	o := Options{Trials: 2, Tasks: 150, Seed: 9, Beta: 2.0, VarFrac: 0.10, Streamed: true}
+	trials, err := o.RunPoint(matrix, o.workloadConfig(workload.Level19k), simulator.MustConfigFor("MM", matrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range trials {
+		if tr.Total != o.Tasks {
+			t.Fatalf("streamed trial %d simulated %d tasks, want %d", i, tr.Total, o.Tasks)
+		}
+	}
+}

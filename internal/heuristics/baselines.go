@@ -20,9 +20,11 @@ func (MM) UsesPruning() bool { return false }
 
 // Map implements Heuristic.
 func (MM) Map(ctx *Context, batch []*task.Task) Result {
-	var out Result
 	st := newScalarState(ctx)
-	remaining := append([]*task.Task(nil), batch...)
+	out := ctx.Cache.newResult()
+	defer func() { ctx.Cache.keepResult(&out) }()
+	remaining := ctx.Cache.takeRemaining(batch)
+	defer func() { ctx.Cache.putRemaining(remaining) }()
 	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
 		bestIdx, bestMi := -1, -1
 		bestECT := math.Inf(1)
@@ -59,9 +61,11 @@ func (MSD) UsesPruning() bool { return false }
 
 // Map implements Heuristic.
 func (MSD) Map(ctx *Context, batch []*task.Task) Result {
-	var out Result
 	st := newScalarState(ctx)
-	remaining := append([]*task.Task(nil), batch...)
+	out := ctx.Cache.newResult()
+	defer func() { ctx.Cache.keepResult(&out) }()
+	remaining := ctx.Cache.takeRemaining(batch)
+	defer func() { ctx.Cache.putRemaining(remaining) }()
 	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
 		bestIdx, bestMi := -1, -1
 		bestDeadline := int64(math.MaxInt64)
@@ -101,9 +105,11 @@ func (MMU) UsesPruning() bool { return false }
 
 // Map implements Heuristic.
 func (MMU) Map(ctx *Context, batch []*task.Task) Result {
-	var out Result
 	st := newScalarState(ctx)
-	remaining := append([]*task.Task(nil), batch...)
+	out := ctx.Cache.newResult()
+	defer func() { ctx.Cache.keepResult(&out) }()
+	remaining := ctx.Cache.takeRemaining(batch)
+	defer func() { ctx.Cache.putRemaining(remaining) }()
 	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
 		bestIdx, bestMi := -1, -1
 		bestUrgency := math.Inf(-1)

@@ -79,7 +79,11 @@ func (c *Context) ExecMean(tt task.Type, mi int) float64 {
 	return c.PET.ScaledEstMean(tt, mi, c.Machines[mi].Speed())
 }
 
-// Result reports what a mapping event did.
+// Result reports what a mapping event did. When the Context carries a
+// persistent Cache, the three slices are backed by per-trial scratch
+// storage: they stay valid only until the next Map call sharing that cache,
+// which is all the simulator's event loop needs and what keeps the
+// steady-state mapping path allocation-free over unbounded task streams.
 type Result struct {
 	// Assigned tasks were enqueued onto machines (already committed).
 	Assigned []*task.Task
@@ -171,6 +175,33 @@ type EvalCache struct {
 	mpairs    []mocPair
 	remaining []*task.Task
 	deferred  map[int]bool
+	// Result backing slices, recycled across Map calls (see Result).
+	assigned    []*task.Task
+	deferredOut []*task.Task
+	culled      []*task.Task
+	// ps is the per-event probState, reused so Map allocates nothing for it.
+	ps probState
+}
+
+// newResult returns a Result whose slices reuse c's scratch storage (empty
+// but with the previous events' capacity); with a nil cache the slices
+// start nil and grow on the heap as before.
+func (c *EvalCache) newResult() Result {
+	if c == nil {
+		return Result{}
+	}
+	return Result{Assigned: c.assigned[:0], Deferred: c.deferredOut[:0], Culled: c.culled[:0]}
+}
+
+// keepResult stores a Result's (possibly regrown) backing slices back into
+// the cache for the next event.
+func (c *EvalCache) keepResult(out *Result) {
+	if c == nil {
+		return
+	}
+	c.assigned = out.Assigned
+	c.deferredOut = out.Deferred
+	c.culled = out.Culled
 }
 
 // tailMemo caches one machine's last computed queue-tail PMF across
@@ -252,7 +283,7 @@ type scalarState struct {
 	ready []float64
 }
 
-func newScalarState(ctx *Context) *scalarState {
+func newScalarState(ctx *Context) scalarState {
 	var ready []float64
 	if c := ctx.Cache; c != nil {
 		if cap(c.ready) < len(ctx.Machines) {
@@ -262,11 +293,26 @@ func newScalarState(ctx *Context) *scalarState {
 	} else {
 		ready = make([]float64, len(ctx.Machines))
 	}
-	s := &scalarState{ready: ready}
+	s := scalarState{ready: ready}
 	for i, m := range ctx.Machines {
 		s.ready[i] = m.ExpectedReady(ctx.Now, ctx.PET)
 	}
 	return s
+}
+
+// takeRemaining copies the batch into the cache's recycled working slice
+// (or a fresh one without a cache); putRemaining returns the storage.
+func (c *EvalCache) takeRemaining(batch []*task.Task) []*task.Task {
+	if c == nil {
+		return append([]*task.Task(nil), batch...)
+	}
+	return append(c.remaining[:0], batch...)
+}
+
+func (c *EvalCache) putRemaining(r []*task.Task) {
+	if c != nil {
+		c.remaining = r[:0]
+	}
 }
 
 // ect returns the expected completion time of task t on machine mi.
@@ -339,7 +385,11 @@ func newProbState(ctx *Context) *probState {
 	c.tails = c.tails[:n]
 	c.stamps = c.stamps[:n]
 	c.memo = c.memo[:n]
-	s := &probState{cache: c, tails: c.tails, arena: ctx.Arena, naive: ctx.NaiveEval}
+	// The probState lives inside the cache so that binding an event to it
+	// allocates nothing — a streaming trial runs millions of mapping events
+	// through the same record.
+	s := &c.ps
+	s.cache, s.tails, s.arena, s.naive = c, c.tails, ctx.Arena, ctx.NaiveEval
 	for i, m := range ctx.Machines {
 		s.tails[i] = c.tailFor(ctx, i, m)
 	}

@@ -43,10 +43,11 @@ type mocPair struct {
 
 // Map implements Heuristic.
 func (h MOC) Map(ctx *Context, batch []*task.Task) Result {
-	var out Result
 	st := newProbState(ctx)
-	remaining := append(st.cache.remaining[:0], batch...)
-	defer func() { st.cache.remaining = remaining[:0] }()
+	out := st.cache.newResult()
+	defer func() { st.cache.keepResult(&out) }()
+	remaining := st.cache.takeRemaining(batch)
+	defer func() { st.cache.putRemaining(remaining) }()
 	for totalFreeSlots(ctx.Machines) > 0 && len(remaining) > 0 {
 		// Phase 1: best machine per task by robustness.
 		pairs := st.cache.mpairs[:0]

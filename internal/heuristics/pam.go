@@ -58,10 +58,11 @@ const expFreeTieEps = 1e-9
 
 // pruningMap is the shared PAM/PAMF mapping loop.
 func pruningMap(ctx *Context, batch []*task.Task) Result {
-	var out Result
 	st := newProbState(ctx)
-	remaining := append(st.cache.remaining[:0], batch...)
-	defer func() { st.cache.remaining = remaining[:0] }()
+	out := st.cache.newResult()
+	defer func() { st.cache.keepResult(&out) }()
+	remaining := st.cache.takeRemaining(batch)
+	defer func() { st.cache.putRemaining(remaining) }()
 	deferred := st.cache.deferred
 	clear(deferred)
 

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"taskprune/internal/stats"
+	"taskprune/internal/task"
+)
+
+// exitRec is the fixed-size record a streaming trial keeps per candidate
+// trim task: everything Collect reads from a *task.Task, copied out so the
+// task struct itself can return to the workload pool the moment it exits.
+type exitRec struct {
+	finish int64
+	id     int
+	typ    task.Type
+	state  task.State
+	defers int
+}
+
+// before orders exit records the way trimWindow sorts tasks: by finish
+// tick, ties by ID. Distinct tasks have distinct IDs, so this is a strict
+// total order and the bounded heaps below select exactly the tasks the
+// sort-based trim would.
+func (a exitRec) before(b exitRec) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
+	}
+	return a.id < b.id
+}
+
+// boundedHeap keeps the k extreme records of a stream: with max=true it is
+// a max-heap holding the k smallest (its root is the largest of them), with
+// max=false a min-heap holding the k largest.
+type boundedHeap struct {
+	recs []exitRec
+	k    int
+	max  bool
+}
+
+func (h *boundedHeap) higher(a, b exitRec) bool {
+	if h.max {
+		return b.before(a)
+	}
+	return a.before(b)
+}
+
+func (h *boundedHeap) add(r exitRec) {
+	if h.k == 0 {
+		return
+	}
+	if len(h.recs) < h.k {
+		h.recs = append(h.recs, r)
+		i := len(h.recs) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !h.higher(h.recs[i], h.recs[p]) {
+				break
+			}
+			h.recs[i], h.recs[p] = h.recs[p], h.recs[i]
+			i = p
+		}
+		return
+	}
+	// Full: r belongs inside the kept extreme set iff it ranks below the
+	// root (the heap's least extreme member), which it then evicts.
+	if !h.higher(h.recs[0], r) {
+		return
+	}
+	h.recs[0] = r
+	i := 0
+	for {
+		l, m := 2*i+1, i
+		if l < len(h.recs) && h.higher(h.recs[l], h.recs[m]) {
+			m = l
+		}
+		if r := l + 1; r < len(h.recs) && h.higher(h.recs[r], h.recs[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.recs[i], h.recs[m] = h.recs[m], h.recs[i]
+		i = m
+	}
+}
+
+// Stream accumulates TrialStats incrementally from task exits, so a trial
+// never needs the full finished-task set: memory is O(trim + nTypes)
+// regardless of how many tasks flow through. Finalize returns exactly what
+// Collect would have returned for the same exit sequence — the steady-state
+// trim (first and last trim exits in (finish, ID) order, with Collect's
+// small-trial clamping) is reproduced by keeping the trim smallest and trim
+// largest exit records in two bounded heaps and subtracting them from
+// whole-stream counters.
+type Stream struct {
+	nTypes int
+	trim   int
+	total  int
+
+	// Whole-stream tallies (window = these minus the trimmed records).
+	perType          []int
+	perTypeCompleted []int
+	completed        int
+	missed           int
+	dropped          int
+	approx           int
+	defers           int
+
+	head boundedHeap // trim smallest exits
+	tail boundedHeap // trim largest exits
+}
+
+// NewStream returns a streaming collector for nTypes task types and the
+// given steady-state trim count.
+func NewStream(nTypes, trim int) *Stream {
+	if trim < 0 {
+		trim = 0
+	}
+	return &Stream{
+		nTypes:           nTypes,
+		trim:             trim,
+		perType:          make([]int, nTypes),
+		perTypeCompleted: make([]int, nTypes),
+		head:             boundedHeap{k: trim, max: true},
+		tail:             boundedHeap{k: trim, max: false},
+	}
+}
+
+// Observe records one task exit. Tasks must be observed in the order they
+// leave the system (the same order Collect receives them); the task may be
+// recycled immediately after Observe returns.
+func (s *Stream) Observe(t *task.Task) {
+	s.total++
+	s.perType[t.Type]++
+	s.defers += t.Defers
+	switch t.State {
+	case task.StateCompleted:
+		s.completed++
+		s.perTypeCompleted[t.Type]++
+	case task.StateMissed:
+		s.missed++
+	case task.StateDropped:
+		s.dropped++
+	case task.StateApprox:
+		s.approx++
+	default:
+		panic(fmt.Sprintf("metrics: unfinished task in exit stream: %v", t))
+	}
+	r := exitRec{finish: t.Finish, id: t.ID, typ: t.Type, state: t.State, defers: t.Defers}
+	s.head.add(r)
+	s.tail.add(r)
+}
+
+// Total returns how many exits have been observed.
+func (s *Stream) Total() int { return s.total }
+
+// Finalize computes the TrialStats for everything observed so far.
+// totalCost is the machine-time dollar cost of the whole trial.
+func (s *Stream) Finalize(totalCost float64) TrialStats {
+	st := TrialStats{
+		Total:            s.total,
+		Completed:        s.completed,
+		Missed:           s.missed,
+		Dropped:          s.dropped,
+		Approx:           s.approx,
+		TotalDefers:      s.defers,
+		PerTypeWindow:    append([]int(nil), s.perType...),
+		PerTypeCompleted: append([]int(nil), s.perTypeCompleted...),
+		PerTypePct:       make([]float64, s.nTypes),
+		TotalCost:        totalCost,
+	}
+	// Collect's clamp: shrink the trim until a window survives.
+	trim := s.trim
+	for s.total <= 2*trim && trim > 0 {
+		trim /= 2
+	}
+	s.exclude(&st, s.head.recs, trim, false)
+	s.exclude(&st, s.tail.recs, trim, true)
+	st.Window = st.Total - 2*trim
+	if st.Window > 0 {
+		st.RobustnessPct = 100 * float64(st.Completed) / float64(st.Window)
+		st.QualityPct = 100 * (float64(st.Completed) + ApproxQualityWeight*float64(st.Approx)) / float64(st.Window)
+	}
+	var pcts []float64
+	for ti := 0; ti < s.nTypes; ti++ {
+		if st.PerTypeWindow[ti] == 0 {
+			continue
+		}
+		p := 100 * float64(st.PerTypeCompleted[ti]) / float64(st.PerTypeWindow[ti])
+		st.PerTypePct[ti] = p
+		pcts = append(pcts, p)
+	}
+	st.TypeVariancePct = stats.PopVariance(pcts)
+	if st.RobustnessPct > 0 {
+		st.CostPerPct = totalCost / st.RobustnessPct * 1000 // millidollars
+	}
+	return st
+}
+
+// exclude removes the n most extreme records of one heap from the window
+// counters (fromTail selects the largest n of the tail heap, otherwise the
+// smallest n of the head heap).
+func (s *Stream) exclude(st *TrialStats, recs []exitRec, n int, fromTail bool) {
+	if n == 0 {
+		return
+	}
+	ordered := append([]exitRec(nil), recs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].before(ordered[j]) })
+	if fromTail {
+		ordered = ordered[len(ordered)-n:]
+	} else {
+		ordered = ordered[:n]
+	}
+	for _, r := range ordered {
+		st.PerTypeWindow[r.typ]--
+		st.TotalDefers -= r.defers
+		switch r.state {
+		case task.StateCompleted:
+			st.Completed--
+			st.PerTypeCompleted[r.typ]--
+		case task.StateMissed:
+			st.Missed--
+		case task.StateDropped:
+			st.Dropped--
+		case task.StateApprox:
+			st.Approx--
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"taskprune/internal/task"
+)
+
+// randomExits builds a synthetic exit sequence with non-decreasing finish
+// ticks (the order the simulator emits exits), dense tie groups, and a mix
+// of every terminal state.
+func randomExits(r *rand.Rand, n, nTypes int) []*task.Task {
+	states := []task.State{task.StateCompleted, task.StateMissed, task.StateDropped, task.StateApprox}
+	out := make([]*task.Task, n)
+	finish := int64(0)
+	ids := r.Perm(n) // exit order decoupled from ID order, as in real trials
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			finish += int64(r.Intn(5))
+		}
+		out[i] = &task.Task{
+			ID:     ids[i],
+			Type:   task.Type(r.Intn(nTypes)),
+			Finish: finish,
+			State:  states[r.Intn(len(states))],
+			Defers: r.Intn(4),
+		}
+	}
+	return out
+}
+
+// TestStreamMatchesCollect: the streaming collector must return exactly
+// what Collect computes from the materialized exit list — same trimming,
+// same tie-breaks, same clamping on tiny trials — across random exit
+// sequences, trial sizes around the trim boundaries, and costs.
+func TestStreamMatchesCollect(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	sizes := []int{0, 1, 2, 3, 5, 10, 99, 100, 150, 199, 200, 201, 250, 400, 1000}
+	for _, trim := range []int{0, 1, 3, 100} {
+		for _, n := range sizes {
+			for rep := 0; rep < 3; rep++ {
+				exits := randomExits(r, n, 5)
+				cost := float64(r.Intn(100)) / 7
+				want := Collect(exits, 5, trim, cost)
+				s := NewStream(5, trim)
+				for _, tk := range exits {
+					s.Observe(tk)
+				}
+				got := s.Finalize(cost)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("trim=%d n=%d rep=%d: stream stats diverge from Collect\nwant %+v\ngot  %+v",
+						trim, n, rep, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamNegativeTrim mirrors Collect's trim<0 clamp.
+func TestStreamNegativeTrim(t *testing.T) {
+	exits := randomExits(rand.New(rand.NewSource(5)), 30, 3)
+	want := Collect(exits, 3, -7, 0)
+	s := NewStream(3, -7)
+	for _, tk := range exits {
+		s.Observe(tk)
+	}
+	if got := s.Finalize(0); !reflect.DeepEqual(want, got) {
+		t.Fatalf("negative trim: want %+v got %+v", want, got)
+	}
+}
+
+// TestStreamPanicsOnUnfinished mirrors Collect's invariant that only
+// terminal-state tasks may appear in the exit stream.
+func TestStreamPanicsOnUnfinished(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe accepted a pending task")
+		}
+	}()
+	NewStream(1, 0).Observe(&task.Task{State: task.StatePending})
+}
+
+// TestStreamTotal: Total tracks observations as they stream in.
+func TestStreamTotal(t *testing.T) {
+	s := NewStream(2, 10)
+	for i := 0; i < 7; i++ {
+		s.Observe(&task.Task{ID: i, Finish: int64(i), State: task.StateCompleted})
+		if s.Total() != i+1 {
+			t.Fatalf("Total = %d after %d observations", s.Total(), i+1)
+		}
+	}
+}

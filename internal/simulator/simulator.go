@@ -19,6 +19,7 @@ import (
 	"taskprune/internal/scenario"
 	"taskprune/internal/task"
 	"taskprune/internal/trace"
+	"taskprune/internal/workload"
 )
 
 // DefaultQueueCap is the per-machine queue capacity including the
@@ -142,8 +143,13 @@ type Simulator struct {
 	machines []*machine.Machine
 	events   eventq.Queue
 	batch    []*task.Task
-	tasks    map[int]*task.Task
-	finished []*task.Task
+
+	// collector folds every task exit into streaming counters the moment
+	// it happens, so the simulator never retains the finished-task set;
+	// recycler (non-nil when the source pools tasks) takes each retired
+	// task back right after it is counted and traced.
+	collector *metrics.Stream
+	recycler  workload.Recycler
 
 	pruner   *pruner.Pruner
 	fairness *pruner.FairnessTracker
@@ -210,7 +216,6 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s := &Simulator{
 		cfg:       cfg,
-		tasks:     make(map[int]*task.Task),
 		arena:     pmf.NewArena(),
 		evalCache: heuristics.NewEvalCache(),
 		gone:      make(map[*task.Task]bool),
@@ -236,41 +241,73 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// Run simulates the full lifetime of the given workload and returns the
-// trial statistics. Tasks must have TrueExec populated for every machine.
+// Run simulates the full lifetime of the given workload slice and returns
+// the trial statistics. Tasks must have TrueExec populated for every
+// machine. It is the slice-backed adapter over RunSource: the tasks are
+// pulled in non-decreasing arrival order (ties in slice order, exactly the
+// order the event queue used to drain them) and remain caller-owned — their
+// final State/Finish fields stay inspectable after the trial.
 func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
 	for _, t := range tasks {
 		if len(t.TrueExec) != len(s.machines) {
 			return metrics.TrialStats{}, fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), len(s.machines))
 		}
-		s.tasks[t.ID] = t
-		s.events.Push(eventq.Event{Tick: t.Arrival, Kind: eventq.Arrival, TaskID: t.ID})
 	}
+	return s.RunSource(workload.FromTasks(tasks))
+}
+
+// RunSource simulates the full lifetime of a pull-based workload stream
+// and returns the trial statistics. The next arrival is pulled only when
+// the event horizon reaches it, every exit folds into streaming counters,
+// and — when the source implements workload.Recycler — each retired task
+// returns to the source's pool, so trial memory is O(live tasks + fleet),
+// not O(total tasks). With an unbounded source, RunSource runs until the
+// stream ends; bound the stream (workload.Config.NumTasks) to bound the
+// trial.
+func (s *Simulator) RunSource(src workload.Source) (metrics.TrialStats, error) {
+	s.collector = metrics.NewStream(s.cfg.PET.NumTypes(), s.cfg.Trim)
+	s.recycler, _ = src.(workload.Recycler)
 	if sc := s.cfg.Scenario; !sc.IsStatic() {
 		// Fleet events are scheduled up front in (tick, declaration) order;
-		// at equal ticks they fire after arrivals (arrivals were pushed
-		// first), which is as deterministic as any other choice.
+		// at equal ticks they fire after arrivals (arrivals win ties below)
+		// and before completions, matching the push-based engine.
 		s.fleetEvents = sc.Sorted()
 		for i, fe := range s.fleetEvents {
 			s.events.Push(eventq.Event{Tick: fe.Tick, Kind: eventq.Fleet, TaskID: i, Machine: fe.Machine})
 		}
 	}
+	next, hasNext, err := s.pull(src)
+	if err != nil {
+		return metrics.TrialStats{}, err
+	}
+loop:
 	for {
-		e, ok := s.events.Pop()
-		if !ok {
-			break
-		}
-		s.now = e.Tick
-		switch e.Kind {
-		case eventq.Arrival:
-			s.batch = append(s.batch, s.tasks[e.TaskID])
-			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskArrived, TaskID: e.TaskID, Machine: -1})
-		case eventq.Completion:
-			if !s.handleCompletion(e) {
-				continue // stale completion for an already-dropped task
+		e, ok := s.events.Peek()
+		switch {
+		case hasNext && (!ok || next.Arrival <= e.Tick):
+			// The stream's head arrives before (or with) every scheduled
+			// event: admit it. Arrivals at the same tick as a completion or
+			// fleet event fire first, exactly as when every arrival was
+			// pushed into the queue ahead of them.
+			s.now = next.Arrival
+			s.batch = append(s.batch, next)
+			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskArrived, TaskID: next.ID, Machine: -1})
+			if next, hasNext, err = s.pull(src); err != nil {
+				return metrics.TrialStats{}, err
 			}
-		case eventq.Fleet:
-			s.handleFleetEvent(s.fleetEvents[e.TaskID])
+		case ok:
+			s.events.Pop()
+			s.now = e.Tick
+			switch e.Kind {
+			case eventq.Completion:
+				if !s.handleCompletion(e) {
+					continue // stale completion for an already-dropped task
+				}
+			case eventq.Fleet:
+				s.handleFleetEvent(s.fleetEvents[e.TaskID])
+			}
+		default:
+			break loop
 		}
 		s.dropExpired()
 		s.mappingEvent()
@@ -285,8 +322,22 @@ func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
 		}
 		totalCost = cost.Total(busy, s.cfg.Prices)
 	}
-	st := metrics.Collect(s.finished, s.cfg.PET.NumTypes(), s.cfg.Trim, totalCost)
-	return st, nil
+	return s.collector.Finalize(totalCost), nil
+}
+
+// pull fetches and validates the stream's next task.
+func (s *Simulator) pull(src workload.Source) (*task.Task, bool, error) {
+	t, ok := src.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	if len(t.TrueExec) != len(s.machines) {
+		return nil, false, fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), len(s.machines))
+	}
+	if t.Arrival < s.now {
+		return nil, false, fmt.Errorf("simulator: source emitted task %d arriving at %d after the clock reached %d", t.ID, t.Arrival, s.now)
+	}
+	return t, true, nil
 }
 
 // handleFleetEvent applies one scenario fleet change. Fleet events are
@@ -387,11 +438,13 @@ func (s *Simulator) handleCompletion(e eventq.Event) bool {
 	return true
 }
 
-// exitTask records a task leaving the system at the current tick.
+// exitTask records a task leaving the system at the current tick: its exit
+// folds into the streaming counters, and the struct returns to the source's
+// pool when the source recycles. Nothing may touch t after this returns.
 func (s *Simulator) exitTask(t *task.Task, st task.State) {
 	t.State = st
 	t.Finish = s.now
-	s.finished = append(s.finished, t)
+	s.collector.Observe(t)
 	var kind trace.Kind
 	switch st {
 	case task.StateCompleted, task.StateApprox:
@@ -412,6 +465,9 @@ func (s *Simulator) exitTask(t *task.Task, st task.State) {
 		} else {
 			s.fairness.RecordFailure(t.Type)
 		}
+	}
+	if s.recycler != nil {
+		s.recycler.Recycle(t)
 	}
 }
 

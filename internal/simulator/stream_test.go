@@ -1,0 +1,204 @@
+package simulator
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"taskprune/internal/scenario"
+	"taskprune/internal/stats"
+	"taskprune/internal/task"
+	"taskprune/internal/trace"
+	"taskprune/internal/workload"
+)
+
+// traceOf runs one simulator over the given source and returns the trace
+// CSV plus the trial statistics.
+func traceOf(t *testing.T, cfg Config, run func(*Simulator) (any, error)) ([]byte, any) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := run(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st
+}
+
+// TestSourceSliceEquivalence: for every major heuristic — with and without
+// mid-trial fleet churn — pulling arrivals straight from the replay-mode
+// streaming source must produce a byte-identical decision trace and
+// identical trial statistics to materializing the workload slice first and
+// running it through the slice adapter. This pins the whole contract at
+// once: the stream's RNG draw order, the k-way merge's tie-breaking, the
+// pull loop's arrival-versus-event ordering, and the streaming metrics
+// collector.
+func TestSourceSliceEquivalence(t *testing.T) {
+	matrix := simPET(t)
+	wcfg := workload.Config{NumTasks: 250, Rate: 0.2, VarFrac: 0.10, Beta: 2.0}
+	for _, name := range []string{"PAM", "PAMF", "MOC", "MM"} {
+		for _, variant := range []struct {
+			label string
+			sc    *scenario.Scenario
+		}{
+			{"static", nil},
+			{"churn", goldenChurn()},
+		} {
+			t.Run(name+"/"+variant.label, func(t *testing.T) {
+				cfg := baseConfig(t, name, matrix)
+				cfg.Scenario = variant.sc
+				w := wcfg
+				variant.sc.ApplyBursts(&w)
+
+				sliceTrace, sliceStats := traceOf(t, cfg, func(sim *Simulator) (any, error) {
+					tasks, err := workload.Generate(w, matrix, stats.NewRNG(77))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sim.Run(tasks)
+				})
+				streamTrace, streamStats := traceOf(t, cfg, func(sim *Simulator) (any, error) {
+					src, err := workload.NewSource(w, matrix, stats.NewRNG(77))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sim.RunSource(src)
+				})
+				if !bytes.Equal(sliceTrace, streamTrace) {
+					line := firstDiffLine(sliceTrace, streamTrace)
+					t.Fatalf("decision traces diverge at line %d:\n slice:  %s\n stream: %s",
+						line+1, lineAt(sliceTrace, line), lineAt(streamTrace, line))
+				}
+				if !reflect.DeepEqual(sliceStats, streamStats) {
+					t.Fatalf("trial stats diverge:\n slice:  %+v\n stream: %+v", sliceStats, streamStats)
+				}
+			})
+		}
+	}
+}
+
+func firstDiffLine(a, b []byte) int {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := min(len(al), len(bl))
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return i
+		}
+	}
+	return n
+}
+
+func lineAt(a []byte, i int) []byte {
+	lines := bytes.Split(a, []byte("\n"))
+	if i < len(lines) {
+		return lines[i]
+	}
+	return []byte("<EOF>")
+}
+
+// TestGoldenTracesViaStream replays every committed golden decision trace
+// through the streaming source directly (no intermediate slice at all):
+// the pull-based engine with the replay-mode source is the default path
+// and must reproduce the committed bytes unmodified.
+func TestGoldenTracesViaStream(t *testing.T) {
+	matrix := simPET(t)
+	for _, tc := range []struct {
+		file string
+		name string
+		sc   *scenario.Scenario
+	}{
+		{"golden_PAM.csv", "PAM", nil},
+		{"golden_PAMF.csv", "PAMF", nil},
+		{"golden_MOC.csv", "MOC", nil},
+		{"golden_MM.csv", "MM", nil},
+		{"golden_churn_PAM.csv", "PAM", goldenChurn()},
+		{"golden_churn_PAMF.csv", "PAMF", goldenChurn()},
+		{"golden_churn_MOC.csv", "MOC", goldenChurn()},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			cfg := baseConfig(t, tc.name, matrix)
+			cfg.Scenario = tc.sc
+			wcfg := workload.Config{NumTasks: 150, Rate: 0.2, VarFrac: 0.10, Beta: 2.0}
+			tc.sc.ApplyBursts(&wcfg)
+			got, _ := traceOf(t, cfg, func(sim *Simulator) (any, error) {
+				src, err := workload.NewSource(wcfg, matrix, stats.NewRNG(42))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sim.RunSource(src)
+			})
+			checkGolden(t, tc.file, got)
+		})
+	}
+}
+
+// TestPureStreamTrial: a trial driven by the constant-memory source (task
+// recycling active) completes, counts every emission, and produces sane
+// statistics.
+func TestPureStreamTrial(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "PAM", matrix)
+	wcfg := workload.Config{NumTasks: 2000, Rate: 0.2, VarFrac: 0.10, Beta: 2.0}
+	src, err := workload.NewStream(wcfg, matrix, stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != wcfg.NumTasks {
+		t.Fatalf("accounted %d exits for %d emissions", st.Total, wcfg.NumTasks)
+	}
+	if st.Completed+st.Missed+st.Dropped+st.Approx != st.Window {
+		t.Fatalf("window states do not add up: %+v", st)
+	}
+	if st.RobustnessPct <= 0 || st.RobustnessPct > 100 {
+		t.Fatalf("implausible robustness %v", st.RobustnessPct)
+	}
+}
+
+// TestRunSourceRejectsMisordering: a source violating the non-decreasing
+// arrival contract must fail loudly, not corrupt the clock.
+func TestRunSourceRejectsMisordering(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "MM", matrix)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunSource(&backwardsSource{nm: matrix.NumMachines()}); err == nil {
+		t.Fatal("RunSource accepted a time-travelling arrival stream")
+	}
+}
+
+// backwardsSource emits two tasks with decreasing arrival ticks.
+type backwardsSource struct {
+	nm int
+	n  int
+}
+
+func (s *backwardsSource) Next() (*task.Task, bool) {
+	if s.n >= 2 {
+		return nil, false
+	}
+	tk := task.New(s.n, 0, int64(100-90*s.n), 1000)
+	tk.TrueExec = make([]int64, s.nm)
+	for i := range tk.TrueExec {
+		tk.TrueExec[i] = 10
+	}
+	s.n++
+	return tk, true
+}

@@ -1,0 +1,75 @@
+package workload
+
+import "math"
+
+// RateFunc maps an arrival-clock position to a rate multiplier: while a
+// type's arrival clock sits at clock, its next inter-arrival gap is divided
+// by the returned factor (> 1 compresses gaps — a surge; < 1 stretches
+// them — a lull). Burst windows are the step-function special case; ramps
+// and diurnal cycles are first-class workloads through the same hook.
+//
+// A RateFunc must return positive, finite values for every non-negative
+// clock; the stream panics on a non-positive or infinite factor because it
+// would freeze or reverse the arrival clock. Exactly one gamma gap is drawn
+// per arrival regardless of the factor, so swapping rate functions never
+// desynchronizes the execution-time RNG stream.
+type RateFunc func(clock float64) float64
+
+// StepRate returns the step rate function equivalent to the given burst
+// windows: inside each [Start, End) window the rate is multiplied by the
+// window's factor; overlapping windows multiply.
+func StepRate(bursts ...Burst) RateFunc {
+	b := append([]Burst(nil), bursts...)
+	return func(clock float64) float64 { return factorAt(b, clock) }
+}
+
+// RampRate returns a linear ramp: factor `from` before start, `to` after
+// end, linearly interpolated in between (contention building up, a fleet
+// warming its caches, a thermal throttle releasing).
+func RampRate(start, end int64, from, to float64) RateFunc {
+	s, e := float64(start), float64(end)
+	return func(clock float64) float64 {
+		switch {
+		case clock <= s:
+			return from
+		case clock >= e:
+			return to
+		default:
+			return from + (to-from)*(clock-s)/(e-s)
+		}
+	}
+}
+
+// DiurnalRate returns a sinusoidal day/night cycle with the given period in
+// ticks: factor = 1 + amplitude·sin(2π·clock/period). amplitude must sit in
+// [0, 1) so the factor stays positive.
+func DiurnalRate(period, amplitude float64) RateFunc {
+	if period <= 0 {
+		panic("workload: DiurnalRate period must be positive")
+	}
+	if amplitude < 0 || amplitude >= 1 {
+		panic("workload: DiurnalRate amplitude must be in [0, 1)")
+	}
+	return func(clock float64) float64 {
+		return 1 + amplitude*math.Sin(2*math.Pi*clock/period)
+	}
+}
+
+// effectiveRate combines a Config's burst windows and custom rate function
+// into the single multiplier the arrival streams consume (the two compose
+// by multiplication, so a scenario's bursts still apply under a custom
+// shape).
+func (c Config) effectiveRate() RateFunc {
+	if c.RateFn == nil {
+		if len(c.Bursts) == 0 {
+			return nil
+		}
+		return StepRate(c.Bursts...)
+	}
+	if len(c.Bursts) == 0 {
+		return c.RateFn
+	}
+	step := StepRate(c.Bursts...)
+	fn := c.RateFn
+	return func(clock float64) float64 { return step(clock) * fn(clock) }
+}

@@ -7,7 +7,6 @@ package workload
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"taskprune/internal/pet"
 	"taskprune/internal/stats"
@@ -35,6 +34,12 @@ type Config struct {
 	// draws is unchanged, so adding a burst never desynchronizes the
 	// execution-time sampling stream.
 	Bursts []Burst
+	// RateFn, when non-nil, is a pluggable arrival-rate shape (step, ramp,
+	// sinusoidal diurnal, ...) applied on top of Bursts: each gap is divided
+	// by RateFn(clock)·factorAt(Bursts, clock). See RateFunc for the
+	// contract. Like Bursts, it never changes how many RNG values a stream
+	// draws per arrival.
+	RateFn RateFunc
 }
 
 // Burst is one arrival-rate burst window: gaps drawn while the arrival
@@ -59,8 +64,12 @@ func factorAt(bursts []Burst, clock float64) float64 {
 }
 
 // Validate reports configuration errors early.
-func (c Config) Validate() error {
-	if c.NumTasks <= 0 {
+func (c Config) Validate() error { return c.validate(false) }
+
+// validate is Validate with an escape hatch for the pure streaming source,
+// where NumTasks is an emission limit and 0 means unbounded.
+func (c Config) validate(allowUnbounded bool) error {
+	if c.NumTasks < 0 || (c.NumTasks == 0 && !allowUnbounded) {
 		return fmt.Errorf("workload: NumTasks must be positive, got %d", c.NumTasks)
 	}
 	if c.Rate <= 0 {
@@ -93,53 +102,26 @@ func Default() Config {
 // times, deadlines, and pre-sampled true execution times on every machine
 // of the PET matrix. Following the paper, each of the matrix's task types
 // gets an independent gamma arrival stream whose mean inter-arrival time is
-// numTypes/Rate; the streams are merged and the earliest NumTasks tasks
-// kept.
+// numTypes/Rate; the streams are merged lazily and the first NumTasks
+// emissions kept. Generate drains the replay-mode streaming source
+// (NewSource), so the slice it returns is the stream's emission order;
+// unlike the historical generate-all-then-sort implementation, no type is
+// ever truncated to NumTasks/nTypes+2 of the earliest arrivals — under a
+// strong burst the merged prefix now carries the true (skewed) type mix
+// instead of a silently clipped one.
 func Generate(cfg Config, matrix *pet.Matrix, rng *stats.RNG) ([]*task.Task, error) {
-	if err := cfg.Validate(); err != nil {
+	src, err := NewSource(cfg, matrix, rng)
+	if err != nil {
 		return nil, err
 	}
-	nTypes := matrix.NumTypes()
-	if nTypes == 0 {
-		return nil, fmt.Errorf("workload: PET matrix has no task types")
-	}
-	perTypeMeanGap := float64(nTypes) / cfg.Rate
-	perTypeCount := cfg.NumTasks/nTypes + 2 // small margin before the merge cut
-
-	avgAll := matrix.GrandMean()
-	arrivalRNG := rng.Split()
-	execRNG := rng.Split()
-
-	all := make([]*task.Task, 0, nTypes*perTypeCount)
-	for ti := 0; ti < nTypes; ti++ {
-		typ := task.Type(ti)
-		avgType := matrix.TypeMeanAcrossMachines(typ)
-		var clock float64
-		for k := 0; k < perTypeCount; k++ {
-			clock += arrivalRNG.GammaRate(perTypeMeanGap, cfg.VarFrac) / factorAt(cfg.Bursts, clock)
-			arr := int64(clock)
-			deadline := arr + int64(avgType+cfg.Beta*avgAll+0.5)
-			all = append(all, task.New(0, typ, arr, deadline))
+	all := make([]*task.Task, 0, cfg.NumTasks)
+	for {
+		t, ok := src.Next()
+		if !ok {
+			return all, nil
 		}
+		all = append(all, t)
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].Arrival != all[j].Arrival {
-			return all[i].Arrival < all[j].Arrival
-		}
-		return all[i].Type < all[j].Type
-	})
-	if len(all) > cfg.NumTasks {
-		all = all[:cfg.NumTasks]
-	}
-	nm := matrix.NumMachines()
-	for id, t := range all {
-		t.ID = id
-		t.TrueExec = make([]int64, nm)
-		for mi := 0; mi < nm; mi++ {
-			t.TrueExec[mi] = matrix.SampleExec(execRNG, t.Type, mi)
-		}
-	}
-	return all, nil
 }
 
 // MustGenerate is Generate for known-good configurations.

@@ -54,6 +54,17 @@
 //     disables all of it; the equivalence tests assert the decision traces
 //     are byte-identical either way.
 //
+//   - Arrivals are pull-based: Simulator.RunSource drains a
+//     WorkloadSource, pulling each task only when the event horizon
+//     reaches it, counting every exit in streaming metrics, and recycling
+//     retired tasks (and their TrueExec arrays) through a pool. Trial
+//     memory is O(live tasks + fleet), so million-task — or unbounded —
+//     streams run in the footprint of an 800-task trial. The replay-mode
+//     source (NewWorkloadSource) reproduces GenerateWorkload's slices byte
+//     for byte; the pure streaming source (NewWorkloadStream) trades that
+//     compatibility for constant memory at any scale, with pluggable
+//     arrival-rate shapes (StepRate, RampRate, DiurnalRate).
+//
 //   - Monte Carlo trials fan out over a fixed worker pool; trial k's RNG
 //     seed depends only on (base seed, k), so results are reproducible
 //     under any worker count.
@@ -113,6 +124,14 @@ type (
 	TrialStats = metrics.TrialStats
 	// WorkloadConfig parameterizes workload generation.
 	WorkloadConfig = workload.Config
+	// WorkloadSource is a pull-based arrival stream for Simulator.RunSource.
+	WorkloadSource = workload.Source
+	// WorkloadStream is the lazy k-way-merged arrival engine behind both
+	// the replay-mode and constant-memory streaming sources.
+	WorkloadStream = workload.Stream
+	// RateFunc shapes arrival rates over time (steps, ramps, diurnal
+	// cycles) for streamed workloads.
+	RateFunc = workload.RateFunc
 	// ExperimentOptions controls figure regeneration scale.
 	ExperimentOptions = experiments.Options
 	// Figure is a regenerated paper figure.
@@ -159,6 +178,19 @@ var (
 	GenerateWorkload = workload.Generate
 	// MustGenerateWorkload is GenerateWorkload for known-good configs.
 	MustGenerateWorkload = workload.MustGenerate
+	// NewWorkloadSource builds the replay-mode streaming source: pull-based
+	// but byte-identical to GenerateWorkload's slices at equal seeds.
+	NewWorkloadSource = workload.NewSource
+	// NewWorkloadStream builds the constant-memory streaming source for
+	// unbounded (or million-task) trials; NumTasks 0 streams forever.
+	NewWorkloadStream = workload.NewStream
+	// WorkloadFromTasks adapts a task slice to the Source interface.
+	WorkloadFromTasks = workload.FromTasks
+	// StepRate, RampRate, and DiurnalRate build arrival-rate shapes for
+	// WorkloadConfig.RateFn.
+	StepRate    = workload.StepRate
+	RampRate    = workload.RampRate
+	DiurnalRate = workload.DiurnalRate
 	// RateForLevel converts a paper-style oversubscription level into an
 	// arrival rate (tasks per tick).
 	RateForLevel = workload.RateForLevel
