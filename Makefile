@@ -15,15 +15,16 @@ test:
 
 ci: vet build test golden race-stream bench-smoke bench-guard
 
-# Golden decision-trace determinism: the committed traces must replay byte
-# for byte, twice, so flaky nondeterminism cannot hide behind test caching.
+# Golden decision-trace determinism: the committed traces (single-fleet
+# and 3-DC cluster) must replay byte for byte, twice, so flaky
+# nondeterminism cannot hide behind test caching.
 golden:
-	$(GO) test -run Golden -count=2 ./internal/simulator/
+	$(GO) test -run Golden -count=2 ./internal/simulator/ ./internal/cluster/
 
 # Regenerate the golden traces after an intentional behavior change; review
 # the diff like any other scheduling change.
 golden-update:
-	$(GO) test -run Golden -update ./internal/simulator/
+	$(GO) test -run Golden -update ./internal/simulator/ ./internal/cluster/
 
 # Allocation-regression tripwire: every benchmark in the committed
 # baseline must stay within 2x of its recorded allocs/op and B/op.
@@ -31,14 +32,16 @@ bench-guard:
 	./scripts/bench_guard.sh $(BENCH_BASELINE)
 
 # Race check of the parallel trial runner driven by pull-based streaming
-# sources (the new shared-state surface across workers).
+# sources (the shared-state surface across workers), including the sharded
+# cluster runner, plus the 1-DC cluster equivalence test under -race.
 race-stream:
 	$(GO) test -race -run Streamed ./internal/experiments/
+	$(GO) test -race -run ClusterEquivalence ./internal/cluster/
 
-# Quick throughput/allocation smoke: one full trial per heuristic class and
-# the convolution-core allocation guards.
+# Quick throughput/allocation smoke: one full trial per heuristic class
+# (single-fleet and sharded) and the convolution-core allocation guards.
 bench-smoke:
-	$(GO) test -run xxx -bench SingleTrial -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench "SingleTrial|ClusterTrial" -benchtime 1x -benchmem .
 	$(GO) test -run xxx -bench Convolve -benchtime 100x -benchmem ./internal/pmf/
 
 # Full benchmark sweep, recorded as BENCH_<date>.json so the performance

@@ -221,6 +221,38 @@ func BenchmarkStreamTrialPAM1M(b *testing.B) {
 	b.ReportMetric(float64(numTasks)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/sec")
 }
 
+// BenchmarkClusterTrialPAM measures one full 800-task PAM trial sharded
+// across four datacenters behind the PET-aware dispatcher — the
+// single-fleet trial's cluster counterpart. The bench guard pins its
+// allocs/op and B/op, which is what keeps per-arrival dispatch
+// allocation-free: routing is pure profile lookups over live machine
+// state, each DC's simulator runs the same arena/cache steady state as
+// the single fleet, and the cluster-level aggregate observes exits into
+// bounded heaps.
+func BenchmarkClusterTrialPAM(b *testing.B) {
+	matrix := SPECPET()
+	for i := 0; i < b.N; i++ {
+		tasks := MustGenerateWorkload(WorkloadConfig{
+			NumTasks: 800, Rate: RateForLevel(Level34k), VarFrac: 0.10, Beta: 2.0,
+		}, matrix, NewRNG(int64(i)))
+		policy, err := NewDispatchPolicy("pet-aware")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := NewCluster(ClusterConfig{DCs: 4, Policy: policy, Sim: MustConfigFor("PAM", matrix)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, _, err := eng.RunSource(WorkloadFromTasks(tasks))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Total != 800 {
+			b.Fatalf("cluster trial accounted %d of 800 tasks", st.Total)
+		}
+	}
+}
+
 // BenchmarkSingleTrialMM is the baseline counterpart of
 // BenchmarkSingleTrialPAM (scalar heuristics skip all convolution work).
 func BenchmarkSingleTrialMM(b *testing.B) {

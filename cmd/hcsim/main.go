@@ -8,20 +8,23 @@
 //	hcsim -exp single -heuristic PAM -level 34000
 //	hcsim -exp single -heuristic PAM -scenario churn.json
 //	hcsim -exp single -heuristic PAM -tasks 1000000 -stream
+//	hcsim -exp single -heuristic PAM -dcs 4 -route pet-aware
 //	hcsim -exp scen-fault           # fleet-churn fault-tolerance study
+//	hcsim -exp cluster-fault        # sharded whole-DC outage study
 //	hcsim -exp fig5 -csv fig5.csv   # also export CSV
 //
-// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 abl-compact abl-eq7
-// abl-scenario abl-arrival abl-moc abl-drift ext-preempt ext-approx
-// scen-fault single all.
+// Run with an unknown -exp name to list every registered experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
+	"taskprune/internal/cluster"
 	"taskprune/internal/experiments"
 	"taskprune/internal/report"
 	"taskprune/internal/scenario"
@@ -30,9 +33,61 @@ import (
 	"taskprune/internal/workload"
 )
 
+// experimentOrder is the single source of experiment names: it drives the
+// registry lookup, the -exp all sweep (in this order), and the listing an
+// unknown -exp name prints. Add a new experiment here and nowhere else.
+var experimentOrder = []struct {
+	name string
+	run  func(experiments.Options) (*experiments.Figure, error)
+}{
+	{"fig4", experiments.Fig4},
+	{"fig5", experiments.Fig5},
+	{"fig6", experiments.Fig6},
+	{"fig7", experiments.Fig7},
+	{"fig8", experiments.Fig8},
+	{"fig9", experiments.Fig9},
+	{"abl-compact", experiments.AblationCompaction},
+	{"abl-eq7", experiments.AblationEq7},
+	{"abl-scenario", experiments.AblationScenario},
+	{"abl-arrival", experiments.AblationArrivalVariance},
+	{"abl-moc", experiments.AblationMOCThreshold},
+	{"abl-drift", experiments.AblationPETDrift},
+	{"ext-preempt", experiments.ExtensionPreemption},
+	{"ext-approx", experiments.ExtensionApproximate},
+	{"scen-fault", experiments.ScenarioFaultTolerance},
+	{"cluster-fault", experiments.ClusterFaultTolerance},
+}
+
+// registry indexes experimentOrder by name; "single" and "all" are handled
+// separately in main.
+var registry = func() map[string]func(experiments.Options) (*experiments.Figure, error) {
+	m := make(map[string]func(experiments.Options) (*experiments.Figure, error), len(experimentOrder))
+	for _, e := range experimentOrder {
+		m[e.name] = e.run
+	}
+	return m
+}()
+
+// allNames returns the -exp all sweep in declaration order.
+func allNames() []string {
+	names := make([]string, 0, len(experimentOrder))
+	for _, e := range experimentOrder {
+		names = append(names, e.name)
+	}
+	return names
+}
+
+// registeredNames returns every runnable -exp value, sorted, including the
+// special modes.
+func registeredNames() []string {
+	names := append(allNames(), "single", "all")
+	sort.Strings(names)
+	return names
+}
+
 func main() {
 	var (
-		exp       = flag.String("exp", "fig7", "experiment to run (fig4..fig9, abl-compact, abl-eq7, abl-scenario, abl-arrival, single, all)")
+		exp       = flag.String("exp", "fig7", "experiment to run (see -exp help: any unknown name lists them)")
 		trials    = flag.Int("trials", 30, "workload trials per configuration point")
 		tasks     = flag.Int("tasks", 800, "tasks per trial")
 		seed      = flag.Int64("seed", 1, "base seed (trial k uses seed+k)")
@@ -43,8 +98,10 @@ func main() {
 		plot      = flag.Bool("plot", false, "also render results as an ASCII bar chart")
 		heuristic = flag.String("heuristic", "PAM", "heuristic for -exp single")
 		level     = flag.Float64("level", workload.Level34k, "oversubscription level for -exp single")
-		scenPath  = flag.String("scenario", "", "JSON fleet-scenario file for -exp single (failures, recoveries, degradations, bursts)")
+		scenPath  = flag.String("scenario", "", "JSON fleet-scenario file for -exp single (failures, recoveries, degradations, drift ramps, dc outages, bursts)")
 		stream    = flag.Bool("stream", false, "pull arrivals from the constant-memory streaming source (per-type RNG splits; workloads differ from the replay schedule at equal seeds), enabling -tasks far past materializable scale")
+		dcs       = flag.Int("dcs", 1, "shard -exp single across this many datacenters (1 = the plain single-fleet engine)")
+		route     = flag.String("route", "round-robin", "dispatch policy for -dcs > 1: "+strings.Join(cluster.PolicyNames(), ", "))
 	)
 	flag.Parse()
 
@@ -62,6 +119,12 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *dcs > 1 {
+			if err := runCluster(opts, *heuristic, *level, sc, *dcs, *route); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := runSingle(opts, *heuristic, *level, sc); err != nil {
 			fatal(err)
 		}
@@ -70,12 +133,19 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-			"abl-compact", "abl-eq7", "abl-scenario", "abl-arrival", "abl-moc", "abl-drift", "ext-preempt", "ext-approx", "scen-fault"}
+		names = allNames()
 	}
 	for _, name := range names {
+		run, ok := registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hcsim: unknown experiment %q\nregistered experiments:\n", name)
+			for _, n := range registeredNames() {
+				fmt.Fprintf(os.Stderr, "  %s\n", n)
+			}
+			os.Exit(1)
+		}
 		start := time.Now()
-		fig, err := runExperiment(name, opts)
+		fig, err := run(opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,43 +166,6 @@ func main() {
 	}
 }
 
-func runExperiment(name string, opts experiments.Options) (*experiments.Figure, error) {
-	switch name {
-	case "fig4":
-		return experiments.Fig4(opts)
-	case "fig5":
-		return experiments.Fig5(opts)
-	case "fig6":
-		return experiments.Fig6(opts)
-	case "fig7":
-		return experiments.Fig7(opts)
-	case "fig8":
-		return experiments.Fig8(opts)
-	case "fig9":
-		return experiments.Fig9(opts)
-	case "abl-compact":
-		return experiments.AblationCompaction(opts)
-	case "abl-eq7":
-		return experiments.AblationEq7(opts)
-	case "abl-scenario":
-		return experiments.AblationScenario(opts)
-	case "abl-arrival":
-		return experiments.AblationArrivalVariance(opts)
-	case "abl-moc":
-		return experiments.AblationMOCThreshold(opts)
-	case "ext-preempt":
-		return experiments.ExtensionPreemption(opts)
-	case "ext-approx":
-		return experiments.ExtensionApproximate(opts)
-	case "abl-drift":
-		return experiments.AblationPETDrift(opts)
-	case "scen-fault":
-		return experiments.ScenarioFaultTolerance(opts)
-	default:
-		return nil, fmt.Errorf("unknown experiment %q", name)
-	}
-}
-
 func tablesFor(name string, fig *experiments.Figure) []*report.Table {
 	switch name {
 	case "fig6":
@@ -146,6 +179,23 @@ func tablesFor(name string, fig *experiments.Figure) []*report.Table {
 	}
 }
 
+// singleSource builds the arrival source for one -exp single trial.
+func singleSource(opts experiments.Options, level float64, sc *scenario.Scenario) (workload.Source, error) {
+	matrix := experiments.SPECPET()
+	wcfg := workload.Config{
+		NumTasks: opts.Tasks,
+		Rate:     workload.RateForLevel(level),
+		VarFrac:  opts.VarFrac,
+		Beta:     opts.Beta,
+	}
+	sc.ApplyBursts(&wcfg)
+	rng := stats.NewRNG(opts.Seed)
+	if opts.Streamed {
+		return workload.NewStream(wcfg, matrix, rng)
+	}
+	return workload.NewSource(wcfg, matrix, rng)
+}
+
 // runSingle executes one trial of one heuristic (optionally under a fleet
 // scenario) and prints its statistics — the quickest way to poke at the
 // system.
@@ -156,20 +206,7 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 		return err
 	}
 	cfg.Scenario = sc
-	wcfg := workload.Config{
-		NumTasks: opts.Tasks,
-		Rate:     workload.RateForLevel(level),
-		VarFrac:  opts.VarFrac,
-		Beta:     opts.Beta,
-	}
-	sc.ApplyBursts(&wcfg)
-	rng := stats.NewRNG(opts.Seed)
-	var src workload.Source
-	if opts.Streamed {
-		src, err = workload.NewStream(wcfg, matrix, rng)
-	} else {
-		src, err = workload.NewSource(wcfg, matrix, rng)
-	}
+	src, err := singleSource(opts, level, sc)
 	if err != nil {
 		return err
 	}
@@ -197,6 +234,48 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 	if sc != nil {
 		fmt.Printf("scenario %q: %d fleet events, %d burst windows, %d tasks requeued by failures\n",
 			sc.Name, len(sc.Events), len(sc.Bursts), sim.Requeued())
+	}
+	return nil
+}
+
+// runCluster executes one sharded trial — one workload stream fanned out
+// across -dcs datacenters through the chosen dispatch policy — and prints
+// the cluster aggregate plus a per-datacenter breakdown.
+func runCluster(opts experiments.Options, name string, level float64, sc *scenario.Scenario, dcs int, route string) error {
+	matrix := experiments.SPECPET()
+	simCfg, err := simulator.ConfigFor(name, matrix)
+	if err != nil {
+		return err
+	}
+	simCfg.Scenario = sc
+	policy, err := cluster.NewPolicy(route)
+	if err != nil {
+		return err
+	}
+	eng, err := cluster.New(cluster.Config{DCs: dcs, Policy: policy, Sim: simCfg})
+	if err != nil {
+		return err
+	}
+	src, err := singleSource(opts, level, sc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	st, perDC, err := eng.RunSource(src)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s @%s ×%d DCs (%s routing): robustness %.1f%% (completed %d / window %d; dropped %d, missed %d) in %v\n",
+		name, workload.LevelLabel(level), dcs, policy.Name(), st.RobustnessPct, st.Completed, st.Window,
+		st.Dropped, st.Missed, elapsed.Round(time.Millisecond))
+	for d, s := range perDC {
+		dc := eng.DCList()[d]
+		fmt.Printf("  dc%d (machines %v): %d tasks, robustness %.1f%%, %d requeued\n",
+			d, dc.Machines(), s.Total, s.RobustnessPct, dc.Sim().Requeued())
+	}
+	if sc != nil {
+		fmt.Printf("scenario %q: %d events, %d gate drops\n", sc.Name, len(sc.Events), eng.GateDrops())
 	}
 	return nil
 }

@@ -1,0 +1,448 @@
+// Package cluster shards the simulated HC system across datacenters: the
+// PET matrix's machine fleet is partitioned into contiguous blocks, each
+// datacenter runs the existing single-DC simulator core — its own batch
+// queue, pruner, and heuristic instance — and a front-end dispatcher
+// routes every arriving task to one datacenter through a pluggable policy
+// (round-robin, least-queued, or PET-aware expected-on-time scoring).
+//
+// The engine interleaves the per-DC simulators over one global clock using
+// the simulator's stepping primitives, with a fixed tie order (arrivals
+// first, then cluster-scoped events, then per-DC events by index), so a
+// sharded trial replays byte-identically run over run — and a 1-DC cluster
+// is byte-identical to the plain single-fleet engine, which the
+// equivalence tests pin. Scenario dc-fail/dc-recover events model whole-DC
+// outages: a failed datacenter's tasks either drop or fail over to the
+// survivors through the same dispatcher that routes arrivals.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taskprune/internal/machine"
+	"taskprune/internal/metrics"
+	"taskprune/internal/pet"
+	"taskprune/internal/scenario"
+	"taskprune/internal/simulator"
+	"taskprune/internal/task"
+	"taskprune/internal/trace"
+	"taskprune/internal/workload"
+)
+
+// Config assembles one sharded cluster.
+type Config struct {
+	// DCs is the number of datacenters the PET fleet is partitioned into:
+	// datacenter d owns the contiguous machine block [d·M/N, (d+1)·M/N),
+	// so an 8-machine PET split 3 ways yields fleets of 2, 3, and 3.
+	DCs int
+	// Policy routes dispatched tasks (nil → round-robin). Policies are
+	// stateful per engine; do not share one instance across engines.
+	Policy Policy
+	// Sim is the per-datacenter simulator template: heuristic, PET,
+	// pruning, drop mode, prices, trim. Its Machines field must be nil
+	// (the engine partitions the fleet) and its Trace nil (use Traces);
+	// its Scenario may mix machine-scoped events — applied inside the
+	// owning datacenter — with cluster-scoped dc-fail/dc-recover events,
+	// which the engine itself handles.
+	Sim simulator.Config
+	// Traces, when non-nil, carries one decision-trace recorder per
+	// datacenter (nil entries disable tracing for that DC).
+	Traces []*trace.Recorder
+	// RecordDispatch retains the dispatcher's routing log (Dispatches) for
+	// auditing and the golden cluster traces.
+	RecordDispatch bool
+}
+
+// DC is one datacenter: a fleet partition running the single-DC simulator
+// core behind the dispatcher.
+type DC struct {
+	index int
+	cols  []int
+	sim   *simulator.Simulator
+	pet   *pet.Matrix
+	// alive tracks dc-fail/dc-recover only; a datacenter whose machines
+	// are individually down (machine-scoped events) still receives
+	// arrivals — that is a brownout, not an outage.
+	alive bool
+}
+
+// Index returns the datacenter's position in the partition order.
+func (d *DC) Index() int { return d.index }
+
+// Machines returns the global PET column indices this datacenter owns.
+func (d *DC) Machines() []int { return d.cols }
+
+// Sim exposes the datacenter's simulator (counters, machines, tests).
+func (d *DC) Sim() *simulator.Simulator { return d.sim }
+
+// Alive reports whether the datacenter is in service (not dc-failed).
+func (d *DC) Alive() bool { return d.alive }
+
+// QueuedLoad counts every task the datacenter currently holds: the batch
+// queue plus each machine's queue, executing task included.
+func (d *DC) QueuedLoad() int {
+	n := d.sim.BatchLen()
+	for _, m := range d.sim.Machines() {
+		n += m.QueueLen()
+	}
+	return n
+}
+
+// onTimeScore is the PET-aware dispatch score: the best on-time completion
+// probability any alive machine in the datacenter offers the task, taking
+// expected queue backlog and current degradation factors into account.
+func (d *DC) onTimeScore(now int64, t *task.Task) float64 {
+	best := 0.0
+	for _, m := range d.sim.Machines() {
+		if !m.Alive() {
+			continue
+		}
+		ready := m.ExpectedReady(now, d.pet)
+		slack := float64(t.Deadline) - ready
+		if slack < 0 {
+			continue
+		}
+		p := d.pet.ScaledProfile(t.Type, m.ID, m.Speed()).CDF(int64(slack))
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// Dispatch is one routing decision of the front-end dispatcher.
+type Dispatch struct {
+	Tick     int64
+	TaskID   int
+	DC       int  // -1: dropped at the gate (no alive datacenter)
+	Failover bool // re-routing a dead datacenter's drained task
+}
+
+// Engine drives one sharded trial. Like the simulator it wraps, it is
+// single-use and not safe for concurrent use — parallel trial runners
+// build one engine per trial.
+type Engine struct {
+	cfg    Config
+	matrix *pet.Matrix
+	policy Policy
+	dcs    []*DC
+
+	// clusterEvents is the dc-fail/dc-recover schedule in (tick,
+	// declaration) order; evPos is the next to fire.
+	clusterEvents []scenario.Event
+	evPos         int
+
+	collector  *metrics.Stream
+	recycler   workload.Recycler
+	dispatches []Dispatch
+	scratch    []*task.Task
+	now        int64
+	gateDrops  int
+}
+
+// New validates cfg, partitions the fleet, and builds the per-datacenter
+// simulators.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Sim.PET == nil || cfg.Sim.PET.NumMachines() == 0 {
+		return nil, fmt.Errorf("cluster: missing PET matrix")
+	}
+	nm := cfg.Sim.PET.NumMachines()
+	if cfg.DCs < 1 || cfg.DCs > nm {
+		return nil, fmt.Errorf("cluster: %d datacenters for %d machines (need 1..%d)", cfg.DCs, nm, nm)
+	}
+	if cfg.Sim.Machines != nil {
+		return nil, fmt.Errorf("cluster: the simulator template must leave Machines nil; the engine partitions the fleet")
+	}
+	if cfg.Sim.Trace != nil {
+		return nil, fmt.Errorf("cluster: set per-DC recorders via Traces, not the simulator template")
+	}
+	if cfg.Traces != nil && len(cfg.Traces) != cfg.DCs {
+		return nil, fmt.Errorf("cluster: %d trace recorders for %d datacenters", len(cfg.Traces), cfg.DCs)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	clusterEvents, perDC, err := splitScenario(cfg.Sim.Scenario, nm, cfg.DCs)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, matrix: cfg.Sim.PET, policy: policy, clusterEvents: clusterEvents}
+	for d := 0; d < cfg.DCs; d++ {
+		lo, hi := d*nm/cfg.DCs, (d+1)*nm/cfg.DCs
+		cols := make([]int, 0, hi-lo)
+		for mi := lo; mi < hi; mi++ {
+			cols = append(cols, mi)
+		}
+		cfgd := cfg.Sim
+		cfgd.Machines = cols
+		cfgd.Scenario = perDC[d]
+		if cfg.Traces != nil {
+			cfgd.Trace = cfg.Traces[d]
+		}
+		sim, err := simulator.New(cfgd)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: datacenter %d: %w", d, err)
+		}
+		e.dcs = append(e.dcs, &DC{index: d, cols: cols, sim: sim, pet: cfg.Sim.PET, alive: true})
+	}
+	return e, nil
+}
+
+// dcOfMachine returns the datacenter owning global machine index mi under
+// the contiguous partition of nm machines into nDCs blocks.
+func dcOfMachine(mi, nm, nDCs int) int {
+	for d := 0; d < nDCs; d++ {
+		if mi < (d+1)*nm/nDCs {
+			return d
+		}
+	}
+	return nDCs - 1
+}
+
+// splitScenario validates a cluster scenario and splits it: cluster-scoped
+// dc-fail/dc-recover events are returned in (tick, declaration) order for
+// the engine, while machine-scoped events and InitialDown entries go to
+// the owning datacenter's sub-scenario (machine IDs stay global; the
+// partitioned simulators resolve them). Burst windows stay with the
+// caller's workload configuration, exactly as in single-fleet runs.
+func splitScenario(sc *scenario.Scenario, nm, nDCs int) ([]scenario.Event, []*scenario.Scenario, error) {
+	perDC := make([]*scenario.Scenario, nDCs)
+	if sc.IsStatic() {
+		return nil, perDC, nil
+	}
+	if err := sc.ValidateCluster(nm, nDCs); err != nil {
+		return nil, nil, fmt.Errorf("cluster: %w", err)
+	}
+	var clusterEvents []scenario.Event
+	sub := func(d int) *scenario.Scenario {
+		if perDC[d] == nil {
+			perDC[d] = scenario.New(fmt.Sprintf("%s@dc%d", sc.Name, d))
+		}
+		return perDC[d]
+	}
+	for _, ev := range sc.Events {
+		if ev.Kind == scenario.DCFail || ev.Kind == scenario.DCRecover {
+			clusterEvents = append(clusterEvents, ev)
+			continue
+		}
+		d := dcOfMachine(ev.Machine, nm, nDCs)
+		s := sub(d)
+		s.Events = append(s.Events, ev)
+	}
+	for _, mi := range sc.InitialDown {
+		s := sub(dcOfMachine(mi, nm, nDCs))
+		s.InitialDown = append(s.InitialDown, mi)
+	}
+	sort.SliceStable(clusterEvents, func(i, j int) bool { return clusterEvents[i].Tick < clusterEvents[j].Tick })
+	return clusterEvents, perDC, nil
+}
+
+// RunSource runs the sharded trial to the end of the stream: arrivals are
+// pulled from one shared source and fanned out through the dispatcher, and
+// every datacenter's exits aggregate into cluster-level statistics. It
+// returns the cluster aggregate (robustness over everything that flowed
+// through the cluster, cost summed across datacenters) plus each
+// datacenter's own trial statistics.
+func (e *Engine) RunSource(src workload.Source) (metrics.TrialStats, []metrics.TrialStats, error) {
+	trim := e.cfg.Sim.Trim
+	if trim == 0 {
+		trim = metrics.DefaultTrim
+	}
+	e.collector = metrics.NewStream(e.matrix.NumTypes(), trim)
+	e.recycler, _ = src.(workload.Recycler)
+	for _, d := range e.dcs {
+		d.sim.Begin(e.collector)
+		d.sim.SetRecycler(e.recycler)
+	}
+	next, hasNext, err := e.pull(src)
+	if err != nil {
+		return metrics.TrialStats{}, nil, err
+	}
+loop:
+	for {
+		tick, dc, ok := e.nextEvent()
+		switch {
+		case hasNext && (!ok || next.Arrival <= tick):
+			// Arrivals win ties, exactly as in the single-fleet engine.
+			if err := e.dispatch(next); err != nil {
+				return metrics.TrialStats{}, nil, err
+			}
+			if next, hasNext, err = e.pull(src); err != nil {
+				return metrics.TrialStats{}, nil, err
+			}
+		case ok:
+			e.now = tick
+			if dc < 0 {
+				if err := e.stepClusterEvent(); err != nil {
+					return metrics.TrialStats{}, nil, err
+				}
+			} else {
+				e.dcs[dc].sim.StepEvent()
+			}
+		default:
+			break loop
+		}
+	}
+	perDC := make([]metrics.TrialStats, len(e.dcs))
+	total := 0.0
+	for i, d := range e.dcs {
+		perDC[i] = d.sim.Finalize()
+		total += perDC[i].TotalCost
+	}
+	return e.collector.Finalize(total), perDC, nil
+}
+
+// pull fetches and order-checks the stream's next task (per-task
+// validation happens in the receiving datacenter's Admit).
+func (e *Engine) pull(src workload.Source) (*task.Task, bool, error) {
+	t, ok := src.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	if t.Arrival < e.now {
+		return nil, false, fmt.Errorf("cluster: source emitted task %d arriving at %d after the clock reached %d", t.ID, t.Arrival, e.now)
+	}
+	return t, true, nil
+}
+
+// nextEvent returns the earliest pending event across the cluster — the
+// engine's own dc-fail/dc-recover schedule and every datacenter's internal
+// queue. Ties break cluster-first, then lowest datacenter index: a fixed,
+// documented order that keeps multi-DC replays byte-identical.
+func (e *Engine) nextEvent() (tick int64, dc int, ok bool) {
+	if e.evPos < len(e.clusterEvents) {
+		tick, dc, ok = e.clusterEvents[e.evPos].Tick, -1, true
+	}
+	for i, d := range e.dcs {
+		if t, has := d.sim.NextEventTick(); has && (!ok || t < tick) {
+			tick, dc, ok = t, i, true
+		}
+	}
+	return tick, dc, ok
+}
+
+// dispatch routes one arrival through the policy. With every datacenter
+// down, the task has no queue to join and is dropped at the gate (counted
+// in the cluster aggregate, recycled to the source's pool).
+func (e *Engine) dispatch(t *task.Task) error {
+	e.now = t.Arrival
+	if !e.anyAlive() {
+		e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: -1})
+		e.dropAtGate(t, t.Arrival)
+		return nil
+	}
+	d, err := e.pick(t.Arrival, t)
+	if err != nil {
+		return err
+	}
+	e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: d})
+	return e.dcs[d].sim.Admit(t)
+}
+
+// pick runs the routing policy and validates its answer — a custom Policy
+// returning an out-of-range index or a dead datacenter is an error on
+// every dispatch path (arrivals and failover alike), never a panic or a
+// silent injection into a dead fleet.
+func (e *Engine) pick(now int64, t *task.Task) (int, error) {
+	d := e.policy.Pick(now, t, e.dcs)
+	if d < 0 || d >= len(e.dcs) || !e.dcs[d].alive {
+		return 0, fmt.Errorf("cluster: policy %q picked datacenter %d (alive datacenters only)", e.policy.Name(), d)
+	}
+	return d, nil
+}
+
+// stepClusterEvent fires the next dc-fail/dc-recover. A dc-fail drains the
+// datacenter through the simulator's FailDC; under the Requeue policy the
+// drained tasks are re-dispatched to surviving datacenters in drain order
+// through the same routing policy as arrivals (dropping them when no
+// survivor remains).
+func (e *Engine) stepClusterEvent() error {
+	ev := e.clusterEvents[e.evPos]
+	e.evPos++
+	d := e.dcs[ev.DC]
+	switch ev.Kind {
+	case scenario.DCFail:
+		if !d.alive {
+			return nil // failing a failed datacenter is a no-op, like machine.Fail
+		}
+		d.alive = false
+		drained := d.sim.FailDC(ev.Tick, ev.Policy == scenario.Drop, e.scratch[:0])
+		for _, t := range drained {
+			if !e.anyAlive() {
+				e.record(Dispatch{Tick: ev.Tick, TaskID: t.ID, DC: -1, Failover: true})
+				d.sim.DropInjected(t, ev.Tick)
+				continue
+			}
+			to, err := e.pick(ev.Tick, t)
+			if err != nil {
+				e.scratch = drained[:0]
+				return err
+			}
+			e.record(Dispatch{Tick: ev.Tick, TaskID: t.ID, DC: to, Failover: true})
+			e.dcs[to].sim.InjectRequeued(t, ev.Tick)
+		}
+		e.scratch = drained[:0]
+	case scenario.DCRecover:
+		if d.alive {
+			return nil // recovering an in-service datacenter is a no-op
+		}
+		d.alive = true
+		d.sim.RecoverDC(ev.Tick)
+	}
+	return nil
+}
+
+// dropAtGate exits an arrival that no datacenter can accept.
+func (e *Engine) dropAtGate(t *task.Task, now int64) {
+	t.State = task.StateDropped
+	t.Finish = now
+	e.collector.Observe(t)
+	e.gateDrops++
+	if e.recycler != nil {
+		e.recycler.Recycle(t)
+	}
+}
+
+func (e *Engine) anyAlive() bool {
+	for _, d := range e.dcs {
+		if d.alive {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) record(d Dispatch) {
+	if e.cfg.RecordDispatch {
+		e.dispatches = append(e.dispatches, d)
+	}
+}
+
+// DCList exposes the datacenters (inspection, tests, reporting).
+func (e *Engine) DCList() []*DC { return e.dcs }
+
+// Dispatches returns the routing log (empty unless Config.RecordDispatch).
+func (e *Engine) Dispatches() []Dispatch { return e.dispatches }
+
+// GateDrops returns how many tasks were dropped at the gate because no
+// datacenter was alive to take them.
+func (e *Engine) GateDrops() int { return e.gateDrops }
+
+// Policy returns the engine's dispatch policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Machines flattens every datacenter's fleet in partition order
+// (diagnostics and tests).
+func (e *Engine) Machines() []*machine.Machine {
+	var out []*machine.Machine
+	for _, d := range e.dcs {
+		out = append(out, d.sim.Machines()...)
+	}
+	return out
+}
+
+func errUnknownPolicy(name string) error {
+	return fmt.Errorf("cluster: unknown dispatch policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
+}

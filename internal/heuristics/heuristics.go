@@ -60,23 +60,32 @@ func (c *Context) sufferage(t task.Type) float64 {
 	return c.Fairness.Sufferage(t)
 }
 
-// ExecPMF returns the execution-time PMF of type tt on machine mi under the
-// machine's current speed factor. On a nominal-speed machine it is exactly
-// the PET entry, so the static-fleet path is untouched.
+// ExecPMF returns the execution-time PMF of type tt on the machine at fleet
+// position mi under that machine's current speed factor. The PET column is
+// the machine's ID, not its slice position: a cluster datacenter runs on a
+// partition of the PET's columns, so its machines keep their global IDs
+// while occupying positions 0..len(Machines)-1. On a whole-fleet run the
+// two coincide, and on a nominal-speed machine the result is exactly the
+// PET entry, so the static single-fleet path is untouched.
 func (c *Context) ExecPMF(tt task.Type, mi int) *pmf.PMF {
-	return c.PET.ScaledPMF(tt, mi, c.Machines[mi].Speed())
+	m := c.Machines[mi]
+	return c.PET.ScaledPMF(tt, m.ID, m.Speed())
 }
 
-// ExecProfile returns the prefix-sum execution profile of type tt on
-// machine mi under the machine's current speed factor.
+// ExecProfile returns the prefix-sum execution profile of type tt on the
+// machine at fleet position mi under its current speed factor (PET column
+// = machine ID, as in ExecPMF).
 func (c *Context) ExecProfile(tt task.Type, mi int) *pmf.Profile {
-	return c.PET.ScaledProfile(tt, mi, c.Machines[mi].Speed())
+	m := c.Machines[mi]
+	return c.PET.ScaledProfile(tt, m.ID, m.Speed())
 }
 
-// ExecMean returns the profiled mean execution time of type tt on machine
-// mi under the machine's current speed factor.
+// ExecMean returns the profiled mean execution time of type tt on the
+// machine at fleet position mi under its current speed factor (PET column
+// = machine ID, as in ExecPMF).
 func (c *Context) ExecMean(tt task.Type, mi int) float64 {
-	return c.PET.ScaledEstMean(tt, mi, c.Machines[mi].Speed())
+	m := c.Machines[mi]
+	return c.PET.ScaledEstMean(tt, m.ID, m.Speed())
 }
 
 // Result reports what a mapping event did. When the Context carries a

@@ -19,16 +19,30 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"events":[{"tick":1,"kind":"degrade","machine":0,"factor":-1}]}`)
 	f.Add(`{"events":[{"tick":1,"kind":"degrade","machine":0,"factor":1e999}]}`)
 	f.Add(`{"bursts":[{"start":600,"end":300,"factor":0}]}`)
+	f.Add(`{"events":[{"tick":100,"kind":"drift","machine":1,"until":500,"from":1,"to":3,"steps":4}]}`)
+	f.Add(`{"events":[{"tick":100,"kind":"drift","machine":1,"until":50,"to":0}]}`)
+	f.Add(`{"events":[{"tick":700,"kind":"dc-fail","dc":1,"policy":"requeue"},{"tick":1400,"kind":"dc-recover","dc":1}]}`)
+	f.Add(`{"events":[{"tick":700,"kind":"dc-fail","dc":9,"policy":"drop"}]}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse(strings.NewReader(src))
 		if err != nil {
 			return // malformed input rejected: fine
 		}
-		// Validation must classify, never panic, for any parsed scenario.
-		valid := s.Validate(8) == nil
+		// Validation must classify, never panic, for any parsed scenario —
+		// single-fleet and cluster alike (cluster validation additionally
+		// admits dc-scoped events).
+		valid := s.Validate(8) == nil || s.ValidateCluster(8, 4) == nil
 		_ = s.Validate(0)
+		_ = s.ValidateCluster(8, 0)
 		if !valid {
 			return
+		}
+		// Drift expansion must be total on anything valid (the simulator
+		// schedules Sorted()'s output directly).
+		for _, e := range s.Sorted() {
+			if e.Kind == Drift {
+				t.Fatalf("Sorted left a drift event unexpanded: %v", e)
+			}
 		}
 		// A scenario that parses AND validates must round-trip.
 		blob, err := s.MarshalJSON()
@@ -39,8 +53,10 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-parse of marshaled scenario failed: %v\n%s", err, blob)
 		}
-		if err := again.Validate(8); err != nil {
-			t.Fatalf("round-tripped scenario no longer validates: %v", err)
+		if err := again.ValidateCluster(8, 4); err != nil {
+			if err2 := again.Validate(8); err2 != nil {
+				t.Fatalf("round-tripped scenario no longer validates: %v / %v", err, err2)
+			}
 		}
 		if len(again.Events) != len(s.Events) || len(again.Bursts) != len(s.Bursts) {
 			t.Fatalf("round trip changed shape: %+v vs %+v", s, again)

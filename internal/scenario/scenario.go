@@ -43,7 +43,33 @@ const (
 	// restores nominal speed ("restore" parses to Degrade with Factor 1).
 	// The executing task, if any, keeps the factor it started under.
 	Degrade
+	// Drift ramps a machine's degradation factor from From to Factor over
+	// the window [Tick, Until] — thermal throttling building up, a
+	// contention ramp releasing. It reuses the workload rate-function ramp
+	// shape (workload.RampRate) and is expanded by Sorted into Steps+1
+	// discrete Degrade events along the window, so it flows through the
+	// same deterministic event queue and cache-invalidation machinery as
+	// any step change.
+	Drift
+	// DCFail is a cluster-scoped event: it takes a whole datacenter out of
+	// the cluster. Its Policy selects the fate of the DC's tasks — Requeue
+	// fails them over to the surviving datacenters through the dispatcher,
+	// Drop exits them. Single-fleet runs reject DC-scoped events; only the
+	// cluster engine handles them.
+	DCFail
+	// DCRecover returns a failed datacenter to the cluster, its machines
+	// idle and empty.
+	DCRecover
 )
+
+// DefaultDriftSteps is how many discrete Degrade steps a Drift event
+// expands into when its Steps field is zero.
+const DefaultDriftSteps = 8
+
+// MaxDriftSteps bounds a Drift event's step count: the expansion
+// materializes Steps+1 Degrade events, so an absurd count would flood the
+// event queue.
+const MaxDriftSteps = 10_000
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -54,6 +80,12 @@ func (k EventKind) String() string {
 		return "recover"
 	case Degrade:
 		return "degrade"
+	case Drift:
+		return "drift"
+	case DCFail:
+		return "dc-fail"
+	case DCRecover:
+		return "dc-recover"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -84,8 +116,18 @@ type Event struct {
 	Tick    int64
 	Kind    EventKind
 	Machine int
-	Factor  float64 // Degrade: new speed factor (> 0)
-	Policy  Policy  // Fail: fate of the machine's queued tasks
+	Factor  float64 // Degrade: new speed factor; Drift: factor at Until (> 0)
+	Policy  Policy  // Fail/DCFail: fate of the queued tasks
+
+	// Drift fields: the factor ramps from From at Tick to Factor at Until,
+	// discretized into Steps+1 Degrade events (0 → DefaultDriftSteps).
+	Until int64
+	From  float64
+	Steps int
+
+	// DC addresses DCFail/DCRecover events (datacenter index in the
+	// cluster's partition order).
+	DC int
 }
 
 // String renders the event compactly for traces and errors.
@@ -93,8 +135,14 @@ func (e Event) String() string {
 	switch e.Kind {
 	case Degrade:
 		return fmt.Sprintf("t=%d degrade m%d ×%g", e.Tick, e.Machine, e.Factor)
+	case Drift:
+		return fmt.Sprintf("t=%d..%d drift m%d ×%g→×%g", e.Tick, e.Until, e.Machine, e.From, e.Factor)
 	case Fail:
 		return fmt.Sprintf("t=%d fail m%d (%s)", e.Tick, e.Machine, e.Policy)
+	case DCFail:
+		return fmt.Sprintf("t=%d dc-fail dc%d (%s)", e.Tick, e.DC, e.Policy)
+	case DCRecover:
+		return fmt.Sprintf("t=%d dc-recover dc%d", e.Tick, e.DC)
 	default:
 		return fmt.Sprintf("t=%d %s m%d", e.Tick, e.Kind, e.Machine)
 	}
@@ -137,6 +185,29 @@ func (s *Scenario) DegradeAt(tick int64, machine int, factor float64) *Scenario 
 	return s
 }
 
+// DriftAt appends a gradual speed-factor ramp on a machine: factor from at
+// tick start, factor to at tick end, linearly interpolated in between and
+// discretized into steps+1 Degrade events (steps 0 → DefaultDriftSteps).
+// Returns s for chaining.
+func (s *Scenario) DriftAt(start, end int64, machine int, from, to float64, steps int) *Scenario {
+	s.Events = append(s.Events, Event{Tick: start, Kind: Drift, Machine: machine, Until: end, From: from, Factor: to, Steps: steps})
+	return s
+}
+
+// DCFailAt appends a whole-datacenter failure (cluster runs only). Returns
+// s for chaining.
+func (s *Scenario) DCFailAt(tick int64, dc int, policy Policy) *Scenario {
+	s.Events = append(s.Events, Event{Tick: tick, Kind: DCFail, DC: dc, Policy: policy})
+	return s
+}
+
+// DCRecoverAt appends a whole-datacenter recovery (cluster runs only).
+// Returns s for chaining.
+func (s *Scenario) DCRecoverAt(tick int64, dc int) *Scenario {
+	s.Events = append(s.Events, Event{Tick: tick, Kind: DCRecover, DC: dc})
+	return s
+}
+
 // BurstWindow appends an arrival-rate burst. Returns s for chaining.
 func (s *Scenario) BurstWindow(start, end int64, factor float64) *Scenario {
 	s.Bursts = append(s.Bursts, workload.Burst{Start: start, End: end, Factor: factor})
@@ -168,11 +239,28 @@ func (s *Scenario) ApplyBursts(cfg *workload.Config) {
 	cfg.Bursts = s.Bursts
 }
 
-// Validate checks the scenario against a fleet of nMachines. It rejects
-// out-of-range machine indices, negative ticks, non-positive or non-finite
-// degradation factors, malformed burst windows, and an InitialDown set that
-// empties the fleet.
+// Validate checks the scenario against a single fleet of nMachines. It
+// rejects out-of-range machine indices, negative ticks, non-positive or
+// non-finite degradation factors, malformed burst or drift windows, an
+// InitialDown set that empties the fleet, and any cluster-scoped
+// (dc-fail/dc-recover) event — those only make sense under the cluster
+// engine, which validates with ValidateCluster instead.
 func (s *Scenario) Validate(nMachines int) error {
+	return s.validate(nMachines, 0)
+}
+
+// ValidateCluster is Validate for a sharded run: cluster-scoped events are
+// allowed and their datacenter indices checked against nDCs.
+func (s *Scenario) ValidateCluster(nMachines, nDCs int) error {
+	if nDCs < 1 {
+		return fmt.Errorf("scenario: cluster validation needs at least one datacenter, got %d", nDCs)
+	}
+	return s.validate(nMachines, nDCs)
+}
+
+// validate implements Validate (nDCs == 0, cluster events rejected) and
+// ValidateCluster (nDCs >= 1, cluster events range-checked).
+func (s *Scenario) validate(nMachines, nDCs int) error {
 	if s == nil {
 		return nil
 	}
@@ -196,6 +284,18 @@ func (s *Scenario) Validate(nMachines int) error {
 		if e.Tick < 0 {
 			return fmt.Errorf("scenario %q: event %d (%s) at negative tick", s.Name, i, e)
 		}
+		if e.Kind == DCFail || e.Kind == DCRecover {
+			if nDCs == 0 {
+				return fmt.Errorf("scenario %q: event %d (%s) is cluster-scoped; single-fleet runs cannot honor it", s.Name, i, e)
+			}
+			if e.DC < 0 || e.DC >= nDCs {
+				return fmt.Errorf("scenario %q: event %d (%s) datacenter out of range [0,%d)", s.Name, i, e, nDCs)
+			}
+			if e.Kind == DCFail && e.Policy != Requeue && e.Policy != Drop {
+				return fmt.Errorf("scenario %q: event %d (%s) has unknown policy %d", s.Name, i, e, int(e.Policy))
+			}
+			continue
+		}
 		if e.Machine < 0 || e.Machine >= nMachines {
 			return fmt.Errorf("scenario %q: event %d (%s) machine out of range [0,%d)", s.Name, i, e, nMachines)
 		}
@@ -209,6 +309,25 @@ func (s *Scenario) Validate(nMachines int) error {
 		case Degrade:
 			if !(e.Factor > 0) || math.IsInf(e.Factor, 0) {
 				return fmt.Errorf("scenario %q: event %d (%s) needs a positive finite factor", s.Name, i, e)
+			}
+		case Drift:
+			if e.Until <= e.Tick {
+				return fmt.Errorf("scenario %q: event %d (%s) window is malformed", s.Name, i, e)
+			}
+			if !(e.From > 0) || math.IsInf(e.From, 0) || !(e.Factor > 0) || math.IsInf(e.Factor, 0) {
+				return fmt.Errorf("scenario %q: event %d (%s) needs positive finite factors", s.Name, i, e)
+			}
+			if e.Steps < 0 || e.Steps > MaxDriftSteps {
+				return fmt.Errorf("scenario %q: event %d (%s) needs a step count in [0,%d]", s.Name, i, e, MaxDriftSteps)
+			}
+			steps := e.Steps
+			if steps == 0 {
+				steps = DefaultDriftSteps
+			}
+			// expandDrift interpolates with i·(Until−Tick) in int64; keep
+			// the widest intermediate product exactly representable.
+			if e.Until-e.Tick > math.MaxInt64/int64(steps) {
+				return fmt.Errorf("scenario %q: event %d (%s) window too wide for %d steps", s.Name, i, e, steps)
 			}
 		default:
 			return fmt.Errorf("scenario %q: event %d has unknown kind %d", s.Name, i, int(e.Kind))
@@ -225,13 +344,45 @@ func (s *Scenario) Validate(nMachines int) error {
 	return nil
 }
 
-// Sorted returns the events ordered by (tick, declaration order). The
+// Sorted returns the events ordered by (tick, declaration order), with
+// every Drift event expanded into its discrete Degrade staircase. The
 // simulator pushes events in this order so scenario files may declare them
 // in any order without perturbing determinism.
 func (s *Scenario) Sorted() []Event {
-	out := make([]Event, len(s.Events))
-	copy(out, s.Events)
+	out := make([]Event, 0, len(s.Events))
+	for _, e := range s.Events {
+		if e.Kind == Drift {
+			out = append(out, e.expandDrift()...)
+			continue
+		}
+		out = append(out, e)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Tick < out[j].Tick })
+	return out
+}
+
+// expandDrift discretizes a Drift ramp into Steps+1 Degrade events: one at
+// each of Steps+1 evenly spaced ticks across [Tick, Until], each carrying
+// the workload.RampRate factor at its tick — From at the window start, the
+// target Factor exactly at the end. Steps that land on the same integer
+// tick collapse to the last (a later Degrade at the same tick overwrites an
+// earlier one anyway, so the collapse only trims redundant events).
+func (e Event) expandDrift() []Event {
+	steps := e.Steps
+	if steps == 0 {
+		steps = DefaultDriftSteps
+	}
+	ramp := workload.RampRate(e.Tick, e.Until, e.From, e.Factor)
+	out := make([]Event, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		tick := e.Tick + int64(i)*(e.Until-e.Tick)/int64(steps)
+		step := Event{Tick: tick, Kind: Degrade, Machine: e.Machine, Factor: ramp(float64(tick))}
+		if n := len(out); n > 0 && out[n-1].Tick == tick {
+			out[n-1] = step
+			continue
+		}
+		out = append(out, step)
+	}
 	return out
 }
 
@@ -246,9 +397,18 @@ type jsonScenario struct {
 type jsonEvent struct {
 	Tick    int64    `json:"tick"`
 	Kind    string   `json:"kind"`
-	Machine int      `json:"machine"`
+	Machine int      `json:"machine,omitempty"`
 	Factor  *float64 `json:"factor,omitempty"`
 	Policy  string   `json:"policy,omitempty"`
+
+	// Drift ramps.
+	Until int64    `json:"until,omitempty"`
+	From  *float64 `json:"from,omitempty"`
+	To    *float64 `json:"to,omitempty"`
+	Steps int      `json:"steps,omitempty"`
+
+	// Cluster-scoped events.
+	DC *int `json:"dc,omitempty"`
 }
 
 type jsonBurst struct {
@@ -293,6 +453,38 @@ func Parse(r io.Reader) (*Scenario, error) {
 		case "restore":
 			e.Kind = Degrade
 			e.Factor = 1
+		case "drift":
+			if je.To == nil {
+				return nil, fmt.Errorf("scenario: event %d (drift) is missing its target factor \"to\"", i)
+			}
+			e.Kind = Drift
+			e.Until = je.Until
+			e.From = 1
+			if je.From != nil {
+				e.From = *je.From
+			}
+			e.Factor = *je.To
+			e.Steps = je.Steps
+		case "dc-fail":
+			if je.DC == nil {
+				return nil, fmt.Errorf("scenario: event %d (dc-fail) is missing its datacenter", i)
+			}
+			e.Kind = DCFail
+			e.DC = *je.DC
+			switch je.Policy {
+			case "", "requeue":
+				e.Policy = Requeue
+			case "drop":
+				e.Policy = Drop
+			default:
+				return nil, fmt.Errorf("scenario: event %d has unknown policy %q", i, je.Policy)
+			}
+		case "dc-recover":
+			if je.DC == nil {
+				return nil, fmt.Errorf("scenario: event %d (dc-recover) is missing its datacenter", i)
+			}
+			e.Kind = DCRecover
+			e.DC = *je.DC
 		default:
 			return nil, fmt.Errorf("scenario: event %d has unknown kind %q", i, je.Kind)
 		}
@@ -326,6 +518,15 @@ func (s *Scenario) MarshalJSON() ([]byte, error) {
 		case Degrade:
 			f := e.Factor
 			je.Factor = &f
+		case Drift:
+			from, to := e.From, e.Factor
+			je.Until, je.From, je.To, je.Steps = e.Until, &from, &to, e.Steps
+		case DCFail:
+			dc := e.DC
+			je.Machine, je.DC, je.Policy = 0, &dc, e.Policy.String()
+		case DCRecover:
+			dc := e.DC
+			je.Machine, je.DC = 0, &dc
 		}
 		out.Events = append(out.Events, je)
 	}

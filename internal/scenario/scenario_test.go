@@ -156,3 +156,89 @@ func TestLoadMissingFile(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestDriftExpansion(t *testing.T) {
+	s := New("drift").DriftAt(100, 500, 1, 1, 3, 4)
+	events := s.Sorted()
+	wantTicks := []int64{100, 200, 300, 400, 500}
+	wantFactors := []float64{1, 1.5, 2, 2.5, 3}
+	if len(events) != len(wantTicks) {
+		t.Fatalf("drift expanded into %d events, want %d: %v", len(events), len(wantTicks), events)
+	}
+	for i, e := range events {
+		if e.Kind != Degrade {
+			t.Fatalf("step %d: kind %v, want degrade", i, e.Kind)
+		}
+		if e.Machine != 1 {
+			t.Fatalf("step %d: machine %d, want 1", i, e.Machine)
+		}
+		if e.Tick != wantTicks[i] || e.Factor != wantFactors[i] {
+			t.Fatalf("step %d: got (t=%d, ×%g), want (t=%d, ×%g)", i, e.Tick, e.Factor, wantTicks[i], wantFactors[i])
+		}
+	}
+	// Default step count and collapse of coincident ticks: a 2-tick window
+	// cannot hold DefaultDriftSteps distinct ticks, but the endpoints must
+	// survive with their exact endpoint factors.
+	tight := New("tight").DriftAt(10, 12, 0, 2, 4, 0).Sorted()
+	if len(tight) < 2 || len(tight) > 3 {
+		t.Fatalf("tight drift expanded into %d events: %v", len(tight), tight)
+	}
+	if first := tight[0]; first.Tick != 10 || first.Factor != 2 {
+		t.Fatalf("tight drift start: %v, want t=10 ×2", first)
+	}
+	if last := tight[len(tight)-1]; last.Tick != 12 || last.Factor != 4 {
+		t.Fatalf("tight drift end: %v, want t=12 ×4", last)
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	if err := New("x").DriftAt(500, 100, 0, 1, 3, 4).Validate(2); err == nil {
+		t.Error("inverted drift window accepted")
+	}
+	if err := New("x").DriftAt(100, 500, 0, -1, 3, 4).Validate(2); err == nil {
+		t.Error("negative drift start factor accepted")
+	}
+	if err := New("x").DriftAt(100, 500, 0, 1, 0, 4).Validate(2); err == nil {
+		t.Error("zero drift target factor accepted")
+	}
+	if err := New("x").DriftAt(100, 500, 0, 1, 3, -2).Validate(2); err == nil {
+		t.Error("negative drift step count accepted")
+	}
+	if err := New("x").DriftAt(100, 500, 0, 1, 3, 4).Validate(2); err != nil {
+		t.Errorf("valid drift rejected: %v", err)
+	}
+}
+
+func TestClusterEventValidation(t *testing.T) {
+	s := New("outage").DCFailAt(100, 1, Requeue).DCRecoverAt(300, 1)
+	if err := s.Validate(8); err == nil {
+		t.Error("single-fleet validation accepted cluster-scoped events")
+	}
+	if err := s.ValidateCluster(8, 3); err != nil {
+		t.Errorf("cluster validation rejected a valid outage: %v", err)
+	}
+	if err := s.ValidateCluster(8, 1); err == nil {
+		t.Error("dc index out of range accepted")
+	}
+	if err := s.ValidateCluster(8, 0); err == nil {
+		t.Error("zero datacenters accepted")
+	}
+}
+
+func TestDriftAndDCEventsRoundTripJSON(t *testing.T) {
+	s := New("mix").
+		DriftAt(100, 500, 1, 1, 3, 4).
+		DCFailAt(700, 0, Drop).
+		DCRecoverAt(900, 0)
+	blob, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, blob)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Errorf("round trip changed the scenario:\nfirst:  %+v\nsecond: %+v\n%s", s, again, blob)
+	}
+}

@@ -1,0 +1,50 @@
+package simulator
+
+import (
+	"bytes"
+	"testing"
+
+	"taskprune/internal/scenario"
+	"taskprune/internal/workload"
+)
+
+// TestDriftMatchesDegradeStaircase pins the drift scenario extension: a
+// drift event is, by definition, the Degrade staircase obtained by
+// sampling workload.RampRate at its step ticks — so a trial run under the
+// drift must replay byte-identically to the same trial under the
+// hand-built staircase. This is the regression test for the PET-drift
+// entry point: any change to the expansion (step placement, factor
+// interpolation, endpoint handling) shows up as a trace divergence here.
+func TestDriftMatchesDegradeStaircase(t *testing.T) {
+	const (
+		start, end  = 100, 500
+		machineIdx  = 0
+		from, to    = 1.0, 3.0
+		steps       = 4
+	)
+	drift := scenario.New("drift").DriftAt(start, end, machineIdx, from, to, steps)
+	stairs := scenario.New("stairs")
+	ramp := workload.RampRate(start, end, from, to)
+	for i := 0; i <= steps; i++ {
+		tick := int64(start + i*(end-start)/steps)
+		stairs.DegradeAt(tick, machineIdx, ramp(float64(tick)))
+	}
+	for _, name := range []string{"PAM", "MM"} {
+		got := goldenTrace(t, name, drift)
+		want := goldenTrace(t, name, stairs)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: drift trace diverges from its Degrade staircase", name)
+		}
+		// The ramp must actually fire: the trial spans the window, so the
+		// trace needs one m-degraded event per step plus the start point.
+		degraded := 0
+		for _, line := range bytes.Split(got, []byte("\n")) {
+			if bytes.Contains(line, []byte("m-degraded")) {
+				degraded++
+			}
+		}
+		if degraded != steps+1 {
+			t.Errorf("%s: drift fired %d degrade steps, want %d", name, degraded, steps+1)
+		}
+	}
+}

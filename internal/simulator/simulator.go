@@ -38,6 +38,14 @@ type Config struct {
 	// PET is the system's probabilistic execution time model; its column
 	// count defines the machine fleet size.
 	PET *pet.Matrix
+	// Machines, when non-nil, restricts this simulator to the given PET
+	// columns: the fleet is those machines only, each keeping its global
+	// column index as its machine ID (PET lookups, TrueExec indexing,
+	// prices, scenario events, and traces all speak global IDs). This is
+	// how the cluster engine shards one PET across datacenters; nil means
+	// the whole fleet, exactly as before. Indices must be unique and in
+	// range; tasks still carry one TrueExec entry per PET column.
+	Machines []int
 	// QueueCap is the per-machine queue capacity (0 → DefaultQueueCap).
 	QueueCap int
 	// Mode selects the completion-time convolution scenario used for
@@ -141,14 +149,23 @@ func MustConfigFor(name string, matrix *pet.Matrix) Config {
 type Simulator struct {
 	cfg      Config
 	machines []*machine.Machine
-	events   eventq.Queue
-	batch    []*task.Task
+	// byID maps global machine IDs to fleet slice positions; nil when the
+	// fleet is the whole PET and IDs equal positions.
+	byID map[int]int
+	// execWidth is the TrueExec length every task must carry: the PET's
+	// column count, even when this simulator runs on a partition of it.
+	execWidth int
+	events    eventq.Queue
+	batch     []*task.Task
 
 	// collector folds every task exit into streaming counters the moment
 	// it happens, so the simulator never retains the finished-task set;
-	// recycler (non-nil when the source pools tasks) takes each retired
-	// task back right after it is counted and traced.
+	// aux, when non-nil, observes the same exits (the cluster engine's
+	// cluster-level aggregate); recycler (non-nil when the source pools
+	// tasks) takes each retired task back right after it is counted and
+	// traced.
 	collector *metrics.Stream
+	aux       *metrics.Stream
 	recycler  workload.Recycler
 
 	pruner   *pruner.Pruner
@@ -169,6 +186,11 @@ type Simulator struct {
 	// fleetEvents is the scenario's event list in scheduling order; eventq
 	// Fleet events carry indices into it.
 	fleetEvents []scenario.Event
+
+	// dcDowned remembers which machines the last FailDC actually failed,
+	// so RecoverDC revives exactly those — machines down for machine-scoped
+	// reasons keep their own fail/recover schedule.
+	dcDowned []int
 
 	now              int64
 	missedSinceEvent int
@@ -216,20 +238,50 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s := &Simulator{
 		cfg:       cfg,
+		execWidth: cfg.PET.NumMachines(),
 		arena:     pmf.NewArena(),
 		evalCache: heuristics.NewEvalCache(),
 		gone:      make(map[*task.Task]bool),
 	}
-	for mi := 0; mi < cfg.PET.NumMachines(); mi++ {
+	cols := cfg.Machines
+	if cols == nil {
+		for mi := 0; mi < cfg.PET.NumMachines(); mi++ {
+			cols = append(cols, mi)
+		}
+	} else {
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("simulator: empty machine partition")
+		}
+		s.byID = make(map[int]int, len(cols))
+	}
+	for pos, gid := range cols {
+		if gid < 0 || gid >= cfg.PET.NumMachines() {
+			return nil, fmt.Errorf("simulator: machine %d out of the PET's range [0,%d)", gid, cfg.PET.NumMachines())
+		}
+		if s.byID != nil {
+			if _, dup := s.byID[gid]; dup {
+				return nil, fmt.Errorf("simulator: machine %d listed in the partition twice", gid)
+			}
+			s.byID[gid] = pos
+		}
 		price := 0.0
 		if cfg.Prices != nil {
-			price = cfg.Prices[mi]
+			price = cfg.Prices[gid]
 		}
-		s.machines = append(s.machines, machine.New(mi, fmt.Sprintf("m%d", mi), cfg.QueueCap, price))
+		s.machines = append(s.machines, machine.New(gid, fmt.Sprintf("m%d", gid), cfg.QueueCap, price))
 	}
 	if cfg.Scenario != nil {
+		for _, ev := range cfg.Scenario.Sorted() {
+			if _, ok := s.machineFor(ev.Machine); !ok {
+				return nil, fmt.Errorf("simulator: scenario event (%s) targets a machine outside this fleet partition", ev)
+			}
+		}
 		for _, mi := range cfg.Scenario.InitialDown {
-			s.machines[mi].Fail(0) // absent at tick 0; a Recover event joins it
+			m, ok := s.machineFor(mi)
+			if !ok {
+				return nil, fmt.Errorf("simulator: initial_down machine %d is outside this fleet partition", mi)
+			}
+			m.Fail(0) // absent at tick 0; a Recover event joins it
 		}
 	}
 	if cfg.Pruner != nil && cfg.Heuristic.UsesPruning() {
@@ -249,8 +301,8 @@ func New(cfg Config) (*Simulator, error) {
 // final State/Finish fields stay inspectable after the trial.
 func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
 	for _, t := range tasks {
-		if len(t.TrueExec) != len(s.machines) {
-			return metrics.TrialStats{}, fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), len(s.machines))
+		if len(t.TrueExec) != s.execWidth {
+			return metrics.TrialStats{}, fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), s.execWidth)
 		}
 	}
 	return s.RunSource(workload.FromTasks(tasks))
@@ -264,65 +316,137 @@ func (s *Simulator) Run(tasks []*task.Task) (metrics.TrialStats, error) {
 // not O(total tasks). With an unbounded source, RunSource runs until the
 // stream ends; bound the stream (workload.Config.NumTasks) to bound the
 // trial.
+//
+// RunSource is the single-fleet driver over the stepping primitives
+// (Begin, Admit, StepEvent, Finalize) the cluster engine interleaves
+// across datacenters; the two produce byte-identical decision streams for
+// the same event order.
 func (s *Simulator) RunSource(src workload.Source) (metrics.TrialStats, error) {
-	s.collector = metrics.NewStream(s.cfg.PET.NumTypes(), s.cfg.Trim)
+	s.Begin(nil)
 	s.recycler, _ = src.(workload.Recycler)
-	if sc := s.cfg.Scenario; !sc.IsStatic() {
-		// Fleet events are scheduled up front in (tick, declaration) order;
-		// at equal ticks they fire after arrivals (arrivals win ties below)
-		// and before completions, matching the push-based engine.
-		s.fleetEvents = sc.Sorted()
-		for i, fe := range s.fleetEvents {
-			s.events.Push(eventq.Event{Tick: fe.Tick, Kind: eventq.Fleet, TaskID: i, Machine: fe.Machine})
-		}
-	}
 	next, hasNext, err := s.pull(src)
 	if err != nil {
 		return metrics.TrialStats{}, err
 	}
 loop:
 	for {
-		e, ok := s.events.Peek()
+		tick, ok := s.NextEventTick()
 		switch {
-		case hasNext && (!ok || next.Arrival <= e.Tick):
+		case hasNext && (!ok || next.Arrival <= tick):
 			// The stream's head arrives before (or with) every scheduled
 			// event: admit it. Arrivals at the same tick as a completion or
 			// fleet event fire first, exactly as when every arrival was
 			// pushed into the queue ahead of them.
-			s.now = next.Arrival
-			s.batch = append(s.batch, next)
-			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskArrived, TaskID: next.ID, Machine: -1})
+			if err := s.Admit(next); err != nil {
+				return metrics.TrialStats{}, err
+			}
 			if next, hasNext, err = s.pull(src); err != nil {
 				return metrics.TrialStats{}, err
 			}
 		case ok:
-			s.events.Pop()
-			s.now = e.Tick
-			switch e.Kind {
-			case eventq.Completion:
-				if !s.handleCompletion(e) {
-					continue // stale completion for an already-dropped task
-				}
-			case eventq.Fleet:
-				s.handleFleetEvent(s.fleetEvents[e.TaskID])
-			}
+			s.StepEvent()
 		default:
 			break loop
 		}
-		s.dropExpired()
-		s.mappingEvent()
-		s.startIdleMachines()
 	}
+	return s.Finalize(), nil
+}
+
+// Begin readies the simulator for event-by-event driving: it allocates the
+// trial's streaming collector, registers an optional auxiliary collector
+// that observes every exit alongside the simulator's own (the cluster
+// engine passes its cluster-level aggregate), and schedules scenario fleet
+// events up front in (tick, declaration) order — at equal ticks they fire
+// after arrivals (Admit wins ties by construction of the drivers) and
+// before completions, matching the historical push-based engine. RunSource
+// calls Begin itself; external drivers call it exactly once before
+// Admit/StepEvent/Finalize.
+func (s *Simulator) Begin(aux *metrics.Stream) {
+	s.collector = metrics.NewStream(s.cfg.PET.NumTypes(), s.cfg.Trim)
+	s.aux = aux
+	if sc := s.cfg.Scenario; !sc.IsStatic() {
+		s.fleetEvents = sc.Sorted()
+		for i, fe := range s.fleetEvents {
+			s.events.Push(eventq.Event{Tick: fe.Tick, Kind: eventq.Fleet, TaskID: i, Machine: fe.Machine})
+		}
+	}
+}
+
+// SetRecycler routes retired tasks back to a pool-backed source. RunSource
+// wires it from the source itself; the cluster engine wires every
+// datacenter to the shared stream's pool.
+func (s *Simulator) SetRecycler(r workload.Recycler) { s.recycler = r }
+
+// NextEventTick returns the tick of the earliest scheduled internal event
+// (completion or fleet change); ok is false when none is pending.
+func (s *Simulator) NextEventTick() (int64, bool) {
+	e, ok := s.events.Peek()
+	return e.Tick, ok
+}
+
+// Admit delivers one arriving task to the batch queue at its arrival tick
+// and runs the mapping event every arrival triggers. Drivers must admit in
+// global time order — a task arriving before the simulator clock is
+// rejected — and tasks must carry one TrueExec entry per PET column.
+func (s *Simulator) Admit(t *task.Task) error {
+	if len(t.TrueExec) != s.execWidth {
+		return fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), s.execWidth)
+	}
+	if t.Arrival < s.now {
+		return fmt.Errorf("simulator: source emitted task %d arriving at %d after the clock reached %d", t.ID, t.Arrival, s.now)
+	}
+	s.now = t.Arrival
+	s.batch = append(s.batch, t)
+	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskArrived, TaskID: t.ID, Machine: -1})
+	s.afterEvent()
+	return nil
+}
+
+// StepEvent pops and handles the earliest internal event, advancing the
+// clock. A stale completion (its task was pruned, preempted, or lost to a
+// failure after scheduling) advances the clock without triggering a
+// mapping event — the same short-circuit RunSource's loop always took.
+func (s *Simulator) StepEvent() {
+	e, ok := s.events.Pop()
+	if !ok {
+		return
+	}
+	s.now = e.Tick
+	switch e.Kind {
+	case eventq.Completion:
+		if !s.handleCompletion(e) {
+			return // stale completion for an already-dropped task
+		}
+	case eventq.Fleet:
+		s.handleFleetEvent(s.fleetEvents[e.TaskID])
+	}
+	s.afterEvent()
+}
+
+// afterEvent is the post-step every admitted arrival and handled event
+// triggers: expired tasks drop, the heuristic re-maps, idle machines start.
+func (s *Simulator) afterEvent() {
+	s.dropExpired()
+	s.mappingEvent()
+	s.startIdleMachines()
+}
+
+// Finalize flushes every task still in the system, bills machine busy
+// time, and returns the trial statistics. Call once, after the last event;
+// RunSource calls it itself.
+func (s *Simulator) Finalize() metrics.TrialStats {
 	s.flushUnfinished()
 	totalCost := 0.0
 	if s.cfg.Prices != nil {
 		busy := make([]int64, len(s.machines))
+		prices := make([]float64, len(s.machines))
 		for i, m := range s.machines {
 			busy[i] = m.BusyTicks(s.now)
+			prices[i] = s.cfg.Prices[m.ID]
 		}
-		totalCost = cost.Total(busy, s.cfg.Prices)
+		totalCost = cost.Total(busy, prices)
 	}
-	return s.collector.Finalize(totalCost), nil
+	return s.collector.Finalize(totalCost)
 }
 
 // pull fetches and validates the stream's next task.
@@ -331,8 +455,8 @@ func (s *Simulator) pull(src workload.Source) (*task.Task, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	if len(t.TrueExec) != len(s.machines) {
-		return nil, false, fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), len(s.machines))
+	if len(t.TrueExec) != s.execWidth {
+		return nil, false, fmt.Errorf("simulator: task %d has %d true execs for %d machines", t.ID, len(t.TrueExec), s.execWidth)
 	}
 	if t.Arrival < s.now {
 		return nil, false, fmt.Errorf("simulator: source emitted task %d arriving at %d after the clock reached %d", t.ID, t.Arrival, s.now)
@@ -340,29 +464,50 @@ func (s *Simulator) pull(src workload.Source) (*task.Task, bool, error) {
 	return t, true, nil
 }
 
+// machineFor resolves a global machine ID to this fleet's machine; ok is
+// false when the ID lies outside the partition.
+func (s *Simulator) machineFor(id int) (*machine.Machine, bool) {
+	if s.byID == nil {
+		if id < 0 || id >= len(s.machines) {
+			return nil, false
+		}
+		return s.machines[id], true
+	}
+	pos, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return s.machines[pos], true
+}
+
+// machineByID is machineFor for IDs the simulator itself produced (New
+// validated scenario events, and completion events carry fleet IDs).
+func (s *Simulator) machineByID(id int) *machine.Machine {
+	m, ok := s.machineFor(id)
+	if !ok {
+		panic(fmt.Sprintf("simulator: machine %d not in this fleet partition", id))
+	}
+	return m
+}
+
 // handleFleetEvent applies one scenario fleet change. Fleet events are
 // mapping events: the event loop runs dropExpired/mappingEvent right after,
 // so surviving tasks are re-mapped against the new fleet immediately.
 func (s *Simulator) handleFleetEvent(ev scenario.Event) {
-	m := s.machines[ev.Machine]
+	m := s.machineByID(ev.Machine)
 	switch ev.Kind {
 	case scenario.Fail:
-		// A task whose genuine completion falls on this very tick has
-		// finished its work: its completion event is merely queued behind
-		// this fleet event (fleet events are scheduled up front, completions
-		// as runs start). Complete it rather than count finished work as
-		// lost; the queued completion event then no-ops as stale.
-		if ex := m.Executing(); ex != nil {
-			due := ex.Start + runRemaining(ex, m)
-			if s.cfg.EvictAtDeadline && due > ex.Deadline {
-				due = ex.Deadline
-			}
-			if due == s.now {
-				s.handleCompletion(eventq.Event{Tick: s.now, Kind: eventq.Completion, TaskID: ex.ID, Machine: m.ID})
+		// A machine-scoped failure takes ownership of the machine's down
+		// state even when the machine is already dead from a whole-DC
+		// outage: striking it from dcDowned keeps RecoverDC from reviving
+		// it ahead of its own Recover event.
+		for i, id := range s.dcDowned {
+			if id == m.ID {
+				s.dcDowned = append(s.dcDowned[:i], s.dcDowned[i+1:]...)
+				break
 			}
 		}
-		held := m.Fail(s.now)
-		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.MachineFailed, TaskID: -1, Machine: m.ID})
+		held := s.failMachine(m)
 		for _, t := range held {
 			if ev.Policy == scenario.Drop {
 				s.exitTask(t, task.StateDropped)
@@ -388,6 +533,30 @@ func (s *Simulator) handleFleetEvent(ev scenario.Event) {
 	}
 }
 
+// failMachine takes one alive machine out of the fleet at the current
+// tick and returns the tasks it held. A task whose genuine completion
+// falls on this very tick has finished its work: its completion event is
+// merely queued behind the fleet event (fleet events are scheduled up
+// front, completions as runs start), so it completes here rather than
+// counting finished work as lost — the queued completion event then
+// no-ops as stale. Both single-machine Fail events and whole-DC outages
+// (FailDC) go through this one helper so their failure semantics cannot
+// drift apart.
+func (s *Simulator) failMachine(m *machine.Machine) []*task.Task {
+	if ex := m.Executing(); ex != nil {
+		due := ex.Start + runRemaining(ex, m)
+		if s.cfg.EvictAtDeadline && due > ex.Deadline {
+			due = ex.Deadline
+		}
+		if due == s.now {
+			s.handleCompletion(eventq.Event{Tick: s.now, Kind: eventq.Completion, TaskID: ex.ID, Machine: m.ID})
+		}
+	}
+	held := m.Fail(s.now)
+	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.MachineFailed, TaskID: -1, Machine: m.ID})
+	return held
+}
+
 // runRemaining returns the wall-clock ticks the executing task of m still
 // owes: its nominal remaining execution stretched by the degradation factor
 // its run started under.
@@ -398,7 +567,7 @@ func runRemaining(t *task.Task, m *machine.Machine) int64 {
 // handleCompletion finalizes a machine's executing task. It returns false
 // when the event is stale (the task was pruned after scheduling).
 func (s *Simulator) handleCompletion(e eventq.Event) bool {
-	m := s.machines[e.Machine]
+	m := s.machineByID(e.Machine)
 	ex := m.Executing()
 	if ex == nil || ex.ID != e.TaskID {
 		return false
@@ -445,6 +614,9 @@ func (s *Simulator) exitTask(t *task.Task, st task.State) {
 	t.State = st
 	t.Finish = s.now
 	s.collector.Observe(t)
+	if s.aux != nil {
+		s.aux.Observe(t)
+	}
 	var kind trace.Kind
 	switch st {
 	case task.StateCompleted, task.StateApprox:
@@ -679,6 +851,97 @@ func (s *Simulator) flushUnfinished() {
 		}
 	}
 }
+
+// FailDC takes every alive machine down at tick now — the cluster engine's
+// dc-fail. Under drop, every task the datacenter holds (executing, pending,
+// and batched) exits as dropped here; otherwise the tasks are reset to
+// pending and appended to out in deterministic order — machines in fleet
+// order, each yielding its executing task first and then its FCFS pending
+// queue, followed by the batch queue — for the engine to fail over to
+// surviving datacenters. As with single-machine failures, an executing
+// task whose completion is genuinely due at this very tick completes
+// rather than counting as lost. Machines already down for machine-scoped
+// reasons (a scenario Fail, InitialDown) are untouched and remembered as
+// NOT the outage's doing, so RecoverDC will not revive them ahead of
+// their own Recover events. The mapping post-step runs (fleet events are
+// mapping events), keeping pruner bookkeeping consistent even though the
+// dead fleet can map nothing.
+func (s *Simulator) FailDC(now int64, drop bool, out []*task.Task) []*task.Task {
+	s.now = now
+	s.dcDowned = s.dcDowned[:0]
+	for _, m := range s.machines {
+		if !m.Alive() {
+			continue
+		}
+		s.dcDowned = append(s.dcDowned, m.ID)
+		held := s.failMachine(m)
+		for _, t := range held {
+			if drop {
+				s.exitTask(t, task.StateDropped)
+				continue
+			}
+			t.State = task.StatePending
+			t.Machine = -1
+			t.Consumed = 0
+			out = append(out, t)
+			s.requeued++
+		}
+	}
+	for _, t := range s.batch {
+		if drop {
+			s.exitTask(t, task.StateDropped)
+			continue
+		}
+		out = append(out, t)
+		s.requeued++
+	}
+	s.batch = s.batch[:0]
+	s.afterEvent()
+	return out
+}
+
+// RecoverDC ends the whole-DC outage at tick now — the cluster engine's
+// dc-recover — returning exactly the machines FailDC took down. A machine
+// that was already down for a machine-scoped reason when the outage hit
+// stays down until its own Recover event; one that a machine-scoped
+// Recover revived mid-outage stays up. The mapping post-step runs so
+// anything already in the batch queue maps against the recovered fleet
+// immediately.
+func (s *Simulator) RecoverDC(now int64) {
+	s.now = now
+	for _, id := range s.dcDowned {
+		m := s.machineByID(id)
+		if m.Alive() {
+			continue
+		}
+		m.Recover()
+		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.MachineRecovered, TaskID: -1, Machine: m.ID})
+	}
+	s.dcDowned = s.dcDowned[:0]
+	s.afterEvent()
+}
+
+// InjectRequeued places a failed-over task (drained from another
+// datacenter by FailDC) into the batch queue at tick now and runs the
+// mapping event, mirroring how a single-fleet machine failure requeues its
+// tasks.
+func (s *Simulator) InjectRequeued(t *task.Task, now int64) {
+	s.now = now
+	s.batch = append(s.batch, t)
+	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskRequeued, TaskID: t.ID, Machine: -1})
+	s.afterEvent()
+}
+
+// DropInjected exits a drained task as dropped at tick now — the failover
+// path when no surviving datacenter can take it.
+func (s *Simulator) DropInjected(t *task.Task, now int64) {
+	s.now = now
+	s.exitTask(t, task.StateDropped)
+}
+
+// BatchLen returns how many tasks currently wait in the batch queue (the
+// cluster dispatcher's least-queued signal).
+func (s *Simulator) BatchLen() int { return len(s.batch) }
 
 // Machines exposes the fleet for inspection (tests, cost accounting).
 func (s *Simulator) Machines() []*machine.Machine { return s.machines }

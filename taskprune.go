@@ -71,6 +71,7 @@
 package taskprune
 
 import (
+	"taskprune/internal/cluster"
 	"taskprune/internal/experiments"
 	"taskprune/internal/heuristics"
 	"taskprune/internal/metrics"
@@ -147,6 +148,16 @@ type (
 	ScenarioEvent = scenario.Event
 	// Burst is an arrival-rate burst window.
 	Burst = workload.Burst
+	// ClusterConfig assembles a multi-datacenter sharded system: the PET
+	// fleet partitions into per-DC batch queues behind a front-end
+	// dispatcher.
+	ClusterConfig = cluster.Config
+	// ClusterEngine drives one sharded trial across per-DC simulators.
+	ClusterEngine = cluster.Engine
+	// Datacenter is one fleet partition of a cluster.
+	Datacenter = cluster.DC
+	// DispatchPolicy routes arriving tasks to datacenters.
+	DispatchPolicy = cluster.Policy
 )
 
 // Failure policies for scenario machine failures.
@@ -232,6 +243,14 @@ var (
 	// FaultScenario is the canned mid-trial churn used by the scen-fault
 	// experiment.
 	FaultScenario = experiments.FaultScenario
+	// NewCluster partitions the fleet into datacenters and builds the
+	// sharded engine.
+	NewCluster = cluster.New
+	// NewDispatchPolicy builds a routing policy by name ("round-robin",
+	// "least-queued", "pet-aware").
+	NewDispatchPolicy = cluster.NewPolicy
+	// DispatchPolicyNames lists the canonical routing-policy names.
+	DispatchPolicyNames = cluster.PolicyNames
 )
 
 // Oversubscription level labels used by the paper's figures.
