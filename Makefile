@@ -1,8 +1,10 @@
-GO             ?= go
-DATE           := $(shell date +%Y%m%d)
-BENCH_BASELINE ?= BENCH_20260728.json
+GO                  ?= go
+DATE                := $(shell date +%Y%m%d)
+BENCH_BASELINE      ?= BENCH_20260728.json
+FUZZTIME            ?= 30s
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build vet test ci bench bench-smoke bench-guard golden golden-update
+.PHONY: build vet test ci lint bench bench-smoke bench-guard golden golden-update fuzz-smoke race-stream
 
 build:
 	$(GO) build ./...
@@ -13,7 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
-ci: vet build test golden race-stream bench-smoke bench-guard
+# Everything the CI test job runs, in the same order via the same targets —
+# the workflow (.github/workflows/ci.yml) calls these recipes instead of
+# restating them, so this file is the single source of truth for what green
+# means. (The lint job is separate: it downloads staticcheck, so it is not
+# part of the offline ci target.)
+ci: vet build test golden race-stream fuzz-smoke bench-smoke bench-guard
 
 # Golden decision-trace determinism: the committed traces (single-fleet
 # and 3-DC cluster) must replay byte for byte, twice, so flaky
@@ -33,10 +40,24 @@ bench-guard:
 
 # Race check of the parallel trial runner driven by pull-based streaming
 # sources (the shared-state surface across workers), including the sharded
-# cluster runner, plus the 1-DC cluster equivalence test under -race.
+# cluster runner, plus the 1-DC cluster equivalence and checkpoint-disabled
+# equivalence tests under -race.
 race-stream:
 	$(GO) test -race -run Streamed ./internal/experiments/
 	$(GO) test -race -run ClusterEquivalence ./internal/cluster/
+	$(GO) test -race -run CheckpointDisabledEquivalence ./internal/simulator/
+
+# Short fuzz run of both wire-format parsers, seeded from the committed
+# corpora under testdata/fuzz/ (known-interesting inputs, not an empty
+# corpus): a CI smoke, not a soak.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run xxx ./internal/scenario/
+	$(GO) test -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) -run xxx ./internal/workload/
+
+# Static analysis at a pinned staticcheck version (downloads the tool on
+# first run; not part of the offline ci target for that reason).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Quick throughput/allocation smoke: one full trial per heuristic class
 # (single-fleet and sharded) and the convolution-core allocation guards.

@@ -56,6 +56,7 @@ var experimentOrder = []struct {
 	{"ext-approx", experiments.ExtensionApproximate},
 	{"scen-fault", experiments.ScenarioFaultTolerance},
 	{"cluster-fault", experiments.ClusterFaultTolerance},
+	{"checkpoint", experiments.CheckpointRestore},
 }
 
 // registry indexes experimentOrder by name; "single" and "all" are handled
@@ -234,6 +235,10 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 	if sc != nil {
 		fmt.Printf("scenario %q: %d fleet events, %d burst windows, %d tasks requeued by failures\n",
 			sc.Name, len(sc.Events), len(sc.Bursts), sim.Requeued())
+	}
+	if p := sim.CheckpointPolicy(); p != nil {
+		fmt.Printf("%s: %d checkpoints written, %d of %d requeues restored from a checkpoint\n",
+			p, sim.Checkpoints(), sim.Restored(), sim.Requeued())
 	}
 	return nil
 }

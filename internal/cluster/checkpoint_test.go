@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"taskprune/internal/scenario"
+	"taskprune/internal/workload"
+)
+
+// TestCheckpointSurvivalAcrossDCFail: the survival knob decides whether
+// checkpoints cross a whole-DC outage. Under replicated survival some of
+// the dead datacenter's drained tasks must arrive at the survivors with
+// banked credit (the receiving simulators count them as restored); under
+// local survival — checkpoints died with the datacenter — every failover
+// lands with zero credit, exactly like no checkpointing at all.
+func TestCheckpointSurvivalAcrossDCFail(t *testing.T) {
+	matrix := clusterPET(t)
+	run := func(p *scenario.CheckpointPolicy) (restored, requeued int) {
+		tasks := clusterWorkload(t, matrix, 200, 5)
+		cfg := clusterConfig(t, "PAM", matrix, 3, nil, outageScenario(scenario.Requeue))
+		cfg.Sim.Checkpoint = p
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eng.RunSource(workload.FromTasks(tasks)); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range eng.DCList() {
+			restored += d.Sim().Restored()
+			requeued += d.Sim().Requeued()
+		}
+		return restored, requeued
+	}
+
+	replicated := &scenario.CheckpointPolicy{
+		Kind: scenario.CheckpointPeriodic, Interval: 5,
+		Survival: scenario.SurviveReplicated, ReplicationLag: 2,
+	}
+	gotRestored, gotRequeued := run(replicated)
+	if gotRequeued == 0 {
+		t.Fatal("outage requeued nothing; the scenario no longer exercises failover")
+	}
+	if gotRestored == 0 {
+		t.Fatal("replicated survival restored no failover task from a checkpoint")
+	}
+
+	local := &scenario.CheckpointPolicy{Kind: scenario.CheckpointPeriodic, Interval: 5}
+	gotRestored, gotRequeued = run(local)
+	if gotRequeued == 0 {
+		t.Fatal("outage requeued nothing under local survival")
+	}
+	if gotRestored != 0 {
+		t.Fatalf("local survival restored %d failover tasks; checkpoints must die with the datacenter", gotRestored)
+	}
+}
+
+// TestCheckpointPolicyPropagatesFromScenario: a policy declared on the
+// cluster scenario (the JSON wire path) must reach every per-DC simulator
+// even though the scenario itself is split per datacenter.
+func TestCheckpointPolicyPropagatesFromScenario(t *testing.T) {
+	matrix := clusterPET(t)
+	sc := outageScenario(scenario.Requeue).WithCheckpoint(scenario.CheckpointPolicy{
+		Kind: scenario.CheckpointPeriodic, Interval: 5,
+		Survival: scenario.SurviveReplicated, ReplicationLag: 2,
+	})
+	cfg := clusterConfig(t, "PAM", matrix, 3, nil, sc)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range eng.DCList() {
+		p := d.Sim().CheckpointPolicy()
+		if p == nil || p.Interval != 5 || p.Survival != scenario.SurviveReplicated {
+			t.Fatalf("dc%d resolved policy %+v, want the scenario's periodic/5/replicated", d.Index(), p)
+		}
+	}
+	if _, _, err := eng.RunSource(workload.FromTasks(clusterWorkload(t, matrix, 200, 5))); err != nil {
+		t.Fatal(err)
+	}
+	restored := 0
+	for _, d := range eng.DCList() {
+		restored += d.Sim().Restored()
+	}
+	if restored == 0 {
+		t.Fatal("scenario-declared policy produced no restores across the outage")
+	}
+}

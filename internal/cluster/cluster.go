@@ -168,6 +168,15 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the checkpoint/restore policy before the scenario is split:
+	// the per-DC sub-scenarios carry only that datacenter's fleet events,
+	// so a policy declared on the cluster scenario must be pinned onto the
+	// per-DC simulator configs explicitly — every datacenter checkpoints
+	// (and applies the same survival mode at dc-fail) identically.
+	ckpt := cfg.Sim.Checkpoint
+	if ckpt == nil && cfg.Sim.Scenario != nil {
+		ckpt = cfg.Sim.Scenario.Checkpoint
+	}
 	e := &Engine{cfg: cfg, matrix: cfg.Sim.PET, policy: policy, clusterEvents: clusterEvents}
 	for d := 0; d < cfg.DCs; d++ {
 		lo, hi := d*nm/cfg.DCs, (d+1)*nm/cfg.DCs
@@ -178,6 +187,7 @@ func New(cfg Config) (*Engine, error) {
 		cfgd := cfg.Sim
 		cfgd.Machines = cols
 		cfgd.Scenario = perDC[d]
+		cfgd.Checkpoint = ckpt
 		if cfg.Traces != nil {
 			cfgd.Trace = cfg.Traces[d]
 		}

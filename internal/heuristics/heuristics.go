@@ -88,6 +88,39 @@ func (c *Context) ExecMean(tt task.Type, mi int) float64 {
 	return c.PET.ScaledEstMean(tt, m.ID, m.Speed())
 }
 
+// TaskExecPMF returns the execution-time PMF task t owes on the machine at
+// fleet position mi: the type's (speed-scaled) PET entry, conditioned on
+// the progress the task has already banked when it was restored from a
+// checkpoint (t.Consumed > 0 in the batch queue). An unrestored task takes
+// exactly the ExecPMF path, so checkpoint-free runs are bit-identical.
+func (c *Context) TaskExecPMF(t *task.Task, mi int) *pmf.PMF {
+	if t.Consumed == 0 {
+		return c.ExecPMF(t.Type, mi)
+	}
+	m := c.Machines[mi]
+	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).PMF
+}
+
+// TaskExecProfile is TaskExecPMF's prefix-sum profile (the phase-one
+// evaluation form), conditioned the same way.
+func (c *Context) TaskExecProfile(t *task.Task, mi int) *pmf.Profile {
+	if t.Consumed == 0 {
+		return c.ExecProfile(t.Type, mi)
+	}
+	m := c.Machines[mi]
+	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).Prof
+}
+
+// TaskExecMean is the mean of TaskExecPMF: the expected remaining execution
+// the scalar heuristics price a restored task at.
+func (c *Context) TaskExecMean(t *task.Task, mi int) float64 {
+	if t.Consumed == 0 {
+		return c.ExecMean(t.Type, mi)
+	}
+	m := c.Machines[mi]
+	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).Mean
+}
+
 // Result reports what a mapping event did. When the Context carries a
 // persistent Cache, the three slices are backed by per-trial scratch
 // storage: they stay valid only until the next Map call sharing that cache,
@@ -326,7 +359,7 @@ func (c *EvalCache) putRemaining(r []*task.Task) {
 
 // ect returns the expected completion time of task t on machine mi.
 func (s *scalarState) ect(ctx *Context, t *task.Task, mi int) float64 {
-	return s.ready[mi] + ctx.ExecMean(t.Type, mi)
+	return s.ready[mi] + ctx.TaskExecMean(t, mi)
 }
 
 // bestMachine returns the machine index minimizing expected completion time
@@ -354,7 +387,7 @@ func (s *scalarState) commit(ctx *Context, t *task.Task, mi int) {
 	if err := ctx.Machines[mi].Enqueue(t); err != nil {
 		panic(fmt.Sprintf("heuristics: commit to full machine %d: %v", mi, err))
 	}
-	s.ready[mi] += ctx.ExecMean(t.Type, mi)
+	s.ready[mi] += ctx.TaskExecMean(t, mi)
 }
 
 // probState binds one mapping event to the (persistent) evaluation cache
@@ -449,7 +482,7 @@ func (c *EvalCache) tailFor(ctx *Context, i int, m *machine.Machine) *pmf.PMF {
 
 // compute is the uncached phase-one evaluation of task t on machine mi.
 func (s *probState) compute(ctx *Context, t *task.Task, mi int) fastEval {
-	prof := ctx.ExecProfile(t.Type, mi)
+	prof := ctx.TaskExecProfile(t, mi)
 	success, expFree := pmf.DropEval(s.tails[mi], prof, t.Deadline, ctx.Mode)
 	return fastEval{success: success, expFree: expFree}
 }
@@ -508,7 +541,7 @@ func (s *probState) commit(ctx *Context, t *task.Task, mi int) {
 	if err := ctx.Machines[mi].Enqueue(t); err != nil {
 		panic(fmt.Sprintf("heuristics: commit to full machine %d: %v", mi, err))
 	}
-	res := s.arena.ConvolveDrop(s.tails[mi], ctx.ExecPMF(t.Type, mi), t.Deadline, ctx.Mode)
+	res := s.arena.ConvolveDrop(s.tails[mi], ctx.TaskExecPMF(t, mi), t.Deadline, ctx.Mode)
 	s.tails[mi] = s.arena.Compact(res.Free, ctx.MaxImpulses)
 	s.cache.stamps[mi]++ // one column of cached evaluations dies, no more
 	s.cache.Forget(t.ID)

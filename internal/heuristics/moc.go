@@ -113,7 +113,7 @@ func (h MOC) Map(ctx *Context, batch []*task.Task) Result {
 			bestTotal := -1.0
 			for pick, cand := range top {
 				tc := remaining[cand.taskIdx]
-				full := st.arena.ConvolveDrop(st.tails[cand.machine], ctx.ExecPMF(tc.Type, cand.machine), tc.Deadline, ctx.Mode)
+				full := st.arena.ConvolveDrop(st.tails[cand.machine], ctx.TaskExecPMF(tc, cand.machine), tc.Deadline, ctx.Mode)
 				tail := st.arena.Compact(full.Free, ctx.MaxImpulses)
 				total := cand.ev.success
 				for other, p := range top {
@@ -122,7 +122,7 @@ func (h MOC) Map(ctx *Context, batch []*task.Task) Result {
 					}
 					t := remaining[p.taskIdx]
 					if p.machine == cand.machine {
-						total += pmf.DropSuccess(tail, ctx.ExecProfile(t.Type, p.machine), t.Deadline)
+						total += pmf.DropSuccess(tail, ctx.TaskExecProfile(t, p.machine), t.Deadline)
 					} else {
 						total += p.ev.success
 					}

@@ -112,7 +112,7 @@ func pruningMap(ctx *Context, batch []*task.Task) Result {
 				best = i
 			case a.ev.expFree < b.ev.expFree+expFreeTieEps:
 				ta, tb := remaining[a.taskIdx], remaining[b.taskIdx]
-				ea, eb := ctx.ExecMean(ta.Type, a.machine), ctx.ExecMean(tb.Type, b.machine)
+				ea, eb := ctx.TaskExecMean(ta, a.machine), ctx.TaskExecMean(tb, b.machine)
 				if ea < eb || (ea == eb && ta.ID < tb.ID) {
 					best = i
 				}

@@ -269,10 +269,7 @@ func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode,
 		pos++
 	}
 	for _, t := range m.pending {
-		exec := matrix.ScaledPMF(t.Type, m.ID, m.speed)
-		if t.Consumed > 0 {
-			exec = exec.RemainingAfter(pmf.ScaleDur(t.Consumed, m.speed)) // preempted: partial credit
-		}
+		exec := matrix.RemainingEntry(t.Type, m.ID, m.speed, pmf.ScaleDur(t.Consumed, m.speed)).PMF
 		res := pmf.ConvolveDrop(prev, exec, t.Deadline, mode)
 		free := pmf.Compact(res.Free, maxImpulses)
 		views = append(views, QueueView{
@@ -313,10 +310,9 @@ func (m *Machine) TailPMF(a *pmf.Arena, now int64, matrix *pet.Matrix, mode pmf.
 		prev = a.Compact(free, maxImpulses)
 	}
 	for _, t := range m.pending {
-		exec := matrix.ScaledPMF(t.Type, m.ID, m.speed)
-		if t.Consumed > 0 {
-			exec = exec.RemainingAfter(pmf.ScaleDur(t.Consumed, m.speed)) // preempted: partial credit
-		}
+		// Consumed > 0 (preempted or restored): the matrix's cached
+		// conditioned view, bit-identical to RemainingAfter on the heap.
+		exec := matrix.RemainingEntry(t.Type, m.ID, m.speed, pmf.ScaleDur(t.Consumed, m.speed)).PMF
 		res := a.ConvolveDrop(prev, exec, t.Deadline, mode)
 		prev = a.Compact(res.Free, maxImpulses)
 	}
@@ -336,7 +332,10 @@ func (m *Machine) ExpectedReady(now int64, matrix *pet.Matrix) float64 {
 	}
 	for _, t := range m.pending {
 		if t.Consumed > 0 {
-			ready += matrix.ScaledPMF(t.Type, m.ID, m.speed).RemainingAfter(pmf.ScaleDur(t.Consumed, m.speed)).Mean()
+			// Preempted/restored: the cached conditioned view's mean (its
+			// Mean field is the conditioned PMF's profiled mean, unlike
+			// nominal entries whose Mean is the ground-truth gamma mean).
+			ready += matrix.RemainingEntry(t.Type, m.ID, m.speed, pmf.ScaleDur(t.Consumed, m.speed)).Mean
 		} else {
 			ready += matrix.ScaledEstMean(t.Type, m.ID, m.speed)
 		}

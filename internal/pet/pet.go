@@ -26,8 +26,9 @@ type Entry struct {
 // lazily behind their own lock, so a Matrix may be shared across trials even
 // when scenarios degrade machines.
 type Matrix struct {
-	entries [][]Entry // [taskType][machine]
-	scaled  scaledCache
+	entries   [][]Entry // [taskType][machine]
+	scaled    scaledCache
+	remaining remainingCache
 }
 
 // BuildConfig controls offline PET profiling.

@@ -23,6 +23,11 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"events":[{"tick":100,"kind":"drift","machine":1,"until":50,"to":0}]}`)
 	f.Add(`{"events":[{"tick":700,"kind":"dc-fail","dc":1,"policy":"requeue"},{"tick":1400,"kind":"dc-recover","dc":1}]}`)
 	f.Add(`{"events":[{"tick":700,"kind":"dc-fail","dc":9,"policy":"drop"}]}`)
+	f.Add(`{"checkpoint":{"kind":"periodic","interval":50,"overhead":2}}`)
+	f.Add(`{"checkpoint":{"kind":"periodic","interval":50,"survival":"replicated","replication_lag":10},"events":[{"tick":700,"kind":"dc-fail","dc":1}]}`)
+	f.Add(`{"checkpoint":{"kind":"on-preempt","survival":"local"}}`)
+	f.Add(`{"checkpoint":{"kind":"periodic"}}`)
+	f.Add(`{"checkpoint":{"kind":"never","interval":-3}}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse(strings.NewReader(src))
 		if err != nil {
@@ -60,6 +65,10 @@ func FuzzParse(f *testing.F) {
 		}
 		if len(again.Events) != len(s.Events) || len(again.Bursts) != len(s.Bursts) {
 			t.Fatalf("round trip changed shape: %+v vs %+v", s, again)
+		}
+		if (again.Checkpoint == nil) != (s.Checkpoint == nil) ||
+			(s.Checkpoint != nil && *again.Checkpoint != *s.Checkpoint) {
+			t.Fatalf("round trip changed the checkpoint policy: %+v vs %+v", s.Checkpoint, again.Checkpoint)
 		}
 	})
 }

@@ -162,6 +162,13 @@ type Scenario struct {
 	// Bursts are arrival-rate burst windows applied by the workload
 	// generator (they shape the task stream, not the fleet).
 	Bursts []workload.Burst
+	// Checkpoint, when non-nil, is the checkpoint/restore policy tasks run
+	// under: how often progress is persisted, what each checkpoint costs,
+	// and whether checkpoints survive a whole-DC outage. It rides in the
+	// scenario wire format so a fault study declares its recovery policy
+	// next to the failures it answers; the simulator reads it through
+	// simulator.Config.Checkpoint (an explicitly configured policy wins).
+	Checkpoint *CheckpointPolicy
 }
 
 // New returns an empty named scenario, ready for the builder methods.
@@ -211,6 +218,12 @@ func (s *Scenario) DCRecoverAt(tick int64, dc int) *Scenario {
 // BurstWindow appends an arrival-rate burst. Returns s for chaining.
 func (s *Scenario) BurstWindow(start, end int64, factor float64) *Scenario {
 	s.Bursts = append(s.Bursts, workload.Burst{Start: start, End: end, Factor: factor})
+	return s
+}
+
+// WithCheckpoint sets the checkpoint/restore policy. Returns s for chaining.
+func (s *Scenario) WithCheckpoint(p CheckpointPolicy) *Scenario {
+	s.Checkpoint = &p
 	return s
 }
 
@@ -266,6 +279,9 @@ func (s *Scenario) validate(nMachines, nDCs int) error {
 	}
 	if nMachines <= 0 {
 		return fmt.Errorf("scenario %q: fleet has %d machines", s.Name, nMachines)
+	}
+	if err := s.Checkpoint.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	down := make(map[int]bool, len(s.InitialDown))
 	for _, mi := range s.InitialDown {
@@ -388,10 +404,11 @@ func (e Event) expandDrift() []Event {
 
 // jsonScenario is the wire form of a Scenario.
 type jsonScenario struct {
-	Name        string      `json:"name"`
-	InitialDown []int       `json:"initial_down,omitempty"`
-	Events      []jsonEvent `json:"events,omitempty"`
-	Bursts      []jsonBurst `json:"bursts,omitempty"`
+	Name        string          `json:"name"`
+	InitialDown []int           `json:"initial_down,omitempty"`
+	Events      []jsonEvent     `json:"events,omitempty"`
+	Bursts      []jsonBurst     `json:"bursts,omitempty"`
+	Checkpoint  *jsonCheckpoint `json:"checkpoint,omitempty"`
 }
 
 type jsonEvent struct {
@@ -429,6 +446,11 @@ func Parse(r io.Reader) (*Scenario, error) {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	s := &Scenario{Name: in.Name, InitialDown: in.InitialDown}
+	ckpt, err := parseCheckpoint(in.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	s.Checkpoint = ckpt
 	for i, je := range in.Events {
 		e := Event{Tick: je.Tick, Machine: je.Machine}
 		switch je.Kind {
@@ -509,7 +531,7 @@ func Load(path string) (*Scenario, error) {
 // MarshalJSON implements json.Marshaler so scenarios round-trip through the
 // same wire form Parse reads.
 func (s *Scenario) MarshalJSON() ([]byte, error) {
-	out := jsonScenario{Name: s.Name, InitialDown: s.InitialDown}
+	out := jsonScenario{Name: s.Name, InitialDown: s.InitialDown, Checkpoint: wireCheckpoint(s.Checkpoint)}
 	for _, e := range s.Events {
 		je := jsonEvent{Tick: e.Tick, Kind: e.Kind.String(), Machine: e.Machine}
 		switch e.Kind {

@@ -17,10 +17,10 @@ import (
 // interpolation, endpoint handling) shows up as a trace divergence here.
 func TestDriftMatchesDegradeStaircase(t *testing.T) {
 	const (
-		start, end  = 100, 500
-		machineIdx  = 0
-		from, to    = 1.0, 3.0
-		steps       = 4
+		start, end = 100, 500
+		machineIdx = 0
+		from, to   = 1.0, 3.0
+		steps      = 4
 	)
 	drift := scenario.New("drift").DriftAt(start, end, machineIdx, from, to, steps)
 	stairs := scenario.New("stairs")

@@ -102,6 +102,17 @@ type Config struct {
 	// windows declared by the scenario shape the workload, not the
 	// simulator; apply them at generation time (experiments does this).
 	Scenario *scenario.Scenario
+	// Checkpoint, when enabled, makes tasks persist execution progress so a
+	// machine failure requeues them at their last checkpoint instead of
+	// zero: periodic checkpoints every Interval nominal ticks (each adding
+	// Overhead wall ticks to the run), or on-preemption checkpoints that
+	// merely make the preemption extension's banked progress survive
+	// failures. The policy's Survival mode decides whether checkpoints
+	// outlive a whole-DC outage (FailDC). Nil adopts the scenario's policy
+	// (Scenario.Checkpoint) when one is declared; a zero-kind policy — like
+	// no policy at all — leaves the engine byte-identical to one without
+	// the subsystem.
+	Checkpoint *scenario.CheckpointPolicy
 }
 
 // ConfigFor returns the evaluation configuration the paper uses for the
@@ -192,12 +203,18 @@ type Simulator struct {
 	// reasons keep their own fail/recover schedule.
 	dcDowned []int
 
+	// ckpt is the resolved checkpoint/restore policy (nil or zero-kind =
+	// disabled, the engine's historical behaviour).
+	ckpt *scenario.CheckpointPolicy
+
 	now              int64
 	missedSinceEvent int
 	droppedByPruner  int
 	evicted          int
 	preempted        int
 	requeued         int
+	restored         int
+	checkpoints      int
 	mappingEvents    int
 }
 
@@ -236,12 +253,21 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Scenario.Validate(cfg.PET.NumMachines()); err != nil {
 		return nil, fmt.Errorf("simulator: %w", err)
 	}
+	if cfg.Checkpoint == nil && cfg.Scenario != nil {
+		cfg.Checkpoint = cfg.Scenario.Checkpoint
+	}
+	if err := cfg.Checkpoint.Validate(); err != nil {
+		return nil, fmt.Errorf("simulator: %w", err)
+	}
 	s := &Simulator{
 		cfg:       cfg,
 		execWidth: cfg.PET.NumMachines(),
 		arena:     pmf.NewArena(),
 		evalCache: heuristics.NewEvalCache(),
 		gone:      make(map[*task.Task]bool),
+	}
+	if cfg.Checkpoint.Enabled() {
+		s.ckpt = cfg.Checkpoint
 	}
 	cols := cfg.Machines
 	if cols == nil {
@@ -514,15 +540,13 @@ func (s *Simulator) handleFleetEvent(ev scenario.Event) {
 				continue
 			}
 			// Requeue: the task returns to the batch queue as if never
-			// mapped; execution progress on the dead machine is lost (true
-			// execution times differ per machine, so partial work does not
-			// transfer).
-			t.State = task.StatePending
-			t.Machine = -1
-			t.Consumed = 0
-			s.batch = append(s.batch, t)
-			s.requeued++
-			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskRequeued, TaskID: t.ID, Machine: -1})
+			// mapped. Without checkpointing, execution progress on the dead
+			// machine is lost; with it, the task restores at its last
+			// checkpoint (failMachine already rolled the executing task back
+			// to its banked credit) — checkpointed progress is nominal,
+			// machine-independent credit, so it transfers to whichever
+			// machine the task is remapped onto.
+			s.requeueFailed(t)
 		}
 	case scenario.Recover:
 		m.Recover()
@@ -544,13 +568,20 @@ func (s *Simulator) handleFleetEvent(ev scenario.Event) {
 // drift apart.
 func (s *Simulator) failMachine(m *machine.Machine) []*task.Task {
 	if ex := m.Executing(); ex != nil {
-		due := ex.Start + runRemaining(ex, m)
+		due := ex.Start + s.runWall(ex, m)
 		if s.cfg.EvictAtDeadline && due > ex.Deadline {
 			due = ex.Deadline
 		}
 		if due == s.now {
 			s.handleCompletion(eventq.Event{Tick: s.now, Kind: eventq.Completion, TaskID: ex.ID, Machine: m.ID})
 		}
+	}
+	// The failure interrupts whatever is still running: roll the task back
+	// to its last completed periodic checkpoint before draining it, so both
+	// the single-machine requeue path and the whole-DC failover see the
+	// banked credit.
+	if ex := m.Executing(); ex != nil {
+		s.bankCheckpoint(ex, m)
 	}
 	held := m.Fail(s.now)
 	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.MachineFailed, TaskID: -1, Machine: m.ID})
@@ -562,6 +593,129 @@ func (s *Simulator) failMachine(m *machine.Machine) []*task.Task {
 // its run started under.
 func runRemaining(t *task.Task, m *machine.Machine) int64 {
 	return pmf.ScaleDur(t.Remaining(m.ID), m.RunFactor())
+}
+
+// runWall returns the total wall-clock ticks the executing task of m owes
+// from its run start: the degradation-stretched remaining execution plus
+// the overhead of every periodic checkpoint the run will write along the
+// way. Every site that schedules, verifies, or reasons about a completion
+// tick uses this one formula, so the three can never drift apart. With
+// checkpointing disabled it is exactly runRemaining.
+func (s *Simulator) runWall(t *task.Task, m *machine.Machine) int64 {
+	w := runRemaining(t, m)
+	if s.ckpt.Periodic() {
+		w += s.ckpt.Overhead * s.ckpt.PointsWithin(t.Consumed, t.TrueExec[m.ID])
+	}
+	return w
+}
+
+// completedCheckpoints returns the cumulative nominal progress at the last
+// periodic checkpoint the current run of t on m fully wrote within
+// wall-elapsed w ticks (t.Consumed when none — the progress banked before
+// the run started), plus how many checkpoints that is. Checkpoint k of the
+// run, at cumulative progress c, completes at wall offset
+// ScaleDur(c−Consumed, runFactor) + k×Overhead: a failure mid-checkpoint
+// loses that checkpoint.
+func (s *Simulator) completedCheckpoints(t *task.Task, m *machine.Machine, w int64) (banked, n int64) {
+	banked = t.Consumed
+	if !s.ckpt.Periodic() {
+		return banked, 0
+	}
+	f := m.RunFactor()
+	total := t.TrueExec[m.ID]
+	iv := s.ckpt.Interval
+	for c := (t.Consumed/iv + 1) * iv; c < total; c += iv {
+		n++
+		if pmf.ScaleDur(c-t.Consumed, f)+s.ckpt.Overhead*n > w {
+			n--
+			return banked, n
+		}
+		banked = c
+	}
+	return banked, n
+}
+
+// ckptFreeWall strips the run's checkpoint-writing pauses out of
+// wall-elapsed w, leaving the ticks actually spent executing: completed
+// checkpoints subtract their full overhead, and an instant caught
+// mid-write maps to the write's start — execution is paused at the
+// checkpointed progress, so none of the partial write time counts as
+// work. Identity with checkpointing disabled.
+func (s *Simulator) ckptFreeWall(t *task.Task, m *machine.Machine, w int64) int64 {
+	if !s.ckpt.Periodic() {
+		return w
+	}
+	f := m.RunFactor()
+	total := t.TrueExec[m.ID]
+	iv, ov := s.ckpt.Interval, s.ckpt.Overhead
+	var k int64
+	for c := (t.Consumed/iv + 1) * iv; c < total; c += iv {
+		execW := pmf.ScaleDur(c-t.Consumed, f) // exec wall ticks to reach progress c
+		if execW+ov*k >= w {
+			break // still executing toward c
+		}
+		if w < execW+ov*(k+1) {
+			return execW // mid-write: execution paused at progress c
+		}
+		k++
+	}
+	w -= ov * k
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// runProgress converts wall-elapsed ticks of the current run of t on m into
+// nominal execution progress, excluding the wall time the run spent writing
+// periodic checkpoints. With checkpointing disabled it is exactly
+// UnscaleDur(w, runFactor).
+func (s *Simulator) runProgress(t *task.Task, m *machine.Machine, w int64) int64 {
+	return pmf.UnscaleDur(s.ckptFreeWall(t, m, w), m.RunFactor())
+}
+
+// bankCheckpoint rolls the executing task of a failing machine back to its
+// last completed checkpoint: its Consumed credit becomes the banked
+// progress (monotonically non-decreasing — the run-start credit survives
+// even when no new checkpoint completed), and the newly written checkpoints
+// are counted. No-op unless periodic checkpointing is on; the on-preempt
+// kind banks at preemption time instead, so a failed run simply keeps the
+// credit it started with.
+func (s *Simulator) bankCheckpoint(t *task.Task, m *machine.Machine) {
+	if !s.ckpt.Periodic() {
+		return
+	}
+	banked, n := s.completedCheckpoints(t, m, s.now-t.Start)
+	if n > 0 {
+		t.Consumed = banked
+		t.LastCheckpoint = banked
+		t.Checkpoints += int(n)
+		s.checkpoints += int(n)
+	}
+}
+
+// requeueFailed returns a task a machine failure drained back to the batch
+// queue. Without checkpointing its progress is lost (Consumed resets, the
+// historical behaviour); with checkpointing enabled the banked credit
+// survives and the trace records a restore instead of a plain requeue. A
+// restored task's cached mapping evaluations are stale — its remaining-work
+// distribution changed — so they are forgotten here.
+func (s *Simulator) requeueFailed(t *task.Task) {
+	t.State = task.StatePending
+	t.Machine = -1
+	kind := trace.TaskRequeued
+	if s.ckpt.Enabled() {
+		s.evalCache.Forget(t.ID)
+		if t.Consumed > 0 {
+			kind = trace.TaskRestored
+			s.restored++
+		}
+	} else {
+		t.Consumed = 0
+	}
+	s.batch = append(s.batch, t)
+	s.requeued++
+	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: kind, TaskID: t.ID, Machine: -1, Value: float64(t.Consumed)})
 }
 
 // handleCompletion finalizes a machine's executing task. It returns false
@@ -576,23 +730,37 @@ func (s *Simulator) handleCompletion(e eventq.Event) bool {
 	// a machine failure) and restarted: the genuine completion tick of the
 	// *current* run is start + remaining — stretched by the degradation
 	// factor the run started under — clamped to the deadline under eviction.
-	expected := ex.Start + runRemaining(ex, m)
+	expected := ex.Start + s.runWall(ex, m)
 	if s.cfg.EvictAtDeadline && expected > ex.Deadline {
 		expected = ex.Deadline
 	}
 	if s.now != expected {
 		return false
 	}
-	trueFinish := ex.Start + runRemaining(ex, m)
+	trueFinish := ex.Start + s.runWall(ex, m)
 	m.FinishExecuting(s.now)
+	if s.ckpt.Periodic() {
+		// Account the checkpoints this run wrote (the wall time they cost is
+		// already inside runWall): all of them for a genuine finish, only the
+		// ones completed before the kill for an eviction.
+		var n int64
+		if s.cfg.EvictAtDeadline && trueFinish > ex.Deadline {
+			_, n = s.completedCheckpoints(ex, m, s.now-ex.Start)
+		} else {
+			n = s.ckpt.PointsWithin(ex.Consumed, ex.TrueExec[m.ID])
+		}
+		ex.Checkpoints += int(n)
+		s.checkpoints += int(n)
+	}
 	switch {
 	case s.cfg.EvictAtDeadline && trueFinish > ex.Deadline:
 		// The task was killed at its deadline (scenario C): it never fully
 		// completed. Under the approximate-computing extension, a task that
 		// already received enough of its execution exits with a degraded
 		// but useful result. Wall-clock ticks on a degraded machine convert
-		// back to nominal execution progress before the comparison.
-		received := float64(ex.Consumed) + float64(s.now-ex.Start)/m.RunFactor()
+		// back to nominal execution progress before the comparison —
+		// excluding any ticks the run spent writing checkpoints.
+		received := float64(ex.Consumed) + float64(s.ckptFreeWall(ex, m, s.now-ex.Start))/m.RunFactor()
 		if s.cfg.ApproxFraction > 0 && received >= s.cfg.ApproxFraction*float64(ex.TrueExec[m.ID]) {
 			s.exitTask(ex, task.StateApprox)
 		} else {
@@ -756,9 +924,27 @@ func (s *Simulator) pruneQueues() {
 				if s.cfg.Preempt && rob > s.cfg.PreemptGrayFraction*threshold {
 					// Gray zone: pause with progress retained instead of
 					// discarding the work done so far (wall ticks convert
-					// back to nominal progress on a degraded machine).
-					ex.Consumed += pmf.UnscaleDur(s.now-ex.Start, f)
+					// back to nominal progress on a degraded machine, net of
+					// any checkpoint-writing pauses). The pause serializes
+					// the task's state exactly, so under a checkpoint policy
+					// it doubles as a restore point: the on-preempt kind
+					// counts it as its checkpoint write, and the interval
+					// checkpoints the interrupted run already wrote are
+					// accounted here (its completion event never fires).
+					if s.ckpt.Periodic() {
+						_, n := s.completedCheckpoints(ex, m, s.now-ex.Start)
+						ex.Checkpoints += int(n)
+						s.checkpoints += int(n)
+					}
+					ex.Consumed += s.runProgress(ex, m, s.now-ex.Start)
 					ex.Preemptions++
+					if s.ckpt.Enabled() {
+						ex.LastCheckpoint = ex.Consumed
+						if s.ckpt.Kind == scenario.CheckpointOnPreempt {
+							ex.Checkpoints++
+							s.checkpoints++
+						}
+					}
 					s.preempted++
 					if err := m.Enqueue(ex); err != nil {
 						// Queue full can't happen: we just freed the
@@ -784,10 +970,9 @@ func (s *Simulator) pruneQueues() {
 		}
 		s.taskScratch = append(s.taskScratch[:0], m.Pending()...)
 		for _, t := range s.taskScratch {
-			exec := s.cfg.PET.ScaledPMF(t.Type, m.ID, m.Speed())
-			if t.Consumed > 0 {
-				exec = exec.RemainingAfter(pmf.ScaleDur(t.Consumed, m.Speed())) // preempted: partial credit
-			}
+			// Consumed > 0 (preempted or restored): the cached conditioned
+			// view, bit-identical to RemainingAfter on the scaled PMF.
+			exec := s.cfg.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).PMF
 			res := s.arena.ConvolveDrop(prev, exec, t.Deadline, s.cfg.Mode)
 			if s.pruner.ShouldDrop(res.Success, res.Free.BoundedSkewness(), pos, s.sufferage(t.Type)) {
 				m.RemovePending(t)
@@ -820,7 +1005,7 @@ func (s *Simulator) startIdleMachines() {
 			continue
 		}
 		s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskStarted, TaskID: t.ID, Machine: m.ID})
-		finish := s.now + runRemaining(t, m)
+		finish := s.now + s.runWall(t, m)
 		if s.cfg.EvictAtDeadline && finish > t.Deadline {
 			finish = t.Deadline // killed at the deadline, machine freed
 		}
@@ -880,9 +1065,7 @@ func (s *Simulator) FailDC(now int64, drop bool, out []*task.Task) []*task.Task 
 				s.exitTask(t, task.StateDropped)
 				continue
 			}
-			t.State = task.StatePending
-			t.Machine = -1
-			t.Consumed = 0
+			s.failoverRestore(t)
 			out = append(out, t)
 			s.requeued++
 		}
@@ -892,6 +1075,7 @@ func (s *Simulator) FailDC(now int64, drop bool, out []*task.Task) []*task.Task 
 			s.exitTask(t, task.StateDropped)
 			continue
 		}
+		s.failoverRestore(t)
 		out = append(out, t)
 		s.requeued++
 	}
@@ -921,14 +1105,46 @@ func (s *Simulator) RecoverDC(now int64) {
 	s.afterEvent()
 }
 
+// failoverRestore prepares a drained task for cross-DC failover: the
+// policy's survival mode decides what progress crosses the datacenter
+// boundary. Local survival (and no checkpointing at all) loses everything —
+// checkpoints lived on the dead datacenter's storage; replicated survival
+// resumes from the last checkpoint the surviving replicas hold, forfeiting
+// the replication-lag window. failMachine already rolled executing tasks
+// back to their banked credit, so this only applies the survival cut.
+func (s *Simulator) failoverRestore(t *task.Task) {
+	t.State = task.StatePending
+	t.Machine = -1
+	if s.ckpt.Enabled() {
+		t.Consumed = s.ckpt.FailoverCredit(t.Consumed)
+		// The credit that crossed the DC boundary is the task's new restore
+		// point — a checkpoint the outage destroyed must not linger in the
+		// bookkeeping.
+		t.LastCheckpoint = t.Consumed
+		s.evalCache.Forget(t.ID)
+	} else {
+		t.Consumed = 0
+	}
+}
+
 // InjectRequeued places a failed-over task (drained from another
 // datacenter by FailDC) into the batch queue at tick now and runs the
 // mapping event, mirroring how a single-fleet machine failure requeues its
-// tasks.
+// tasks. A task arriving with surviving checkpoint credit is recorded as
+// restored, and any stale cached evaluations of it (from an earlier stay in
+// this datacenter) are dropped.
 func (s *Simulator) InjectRequeued(t *task.Task, now int64) {
 	s.now = now
 	s.batch = append(s.batch, t)
-	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskRequeued, TaskID: t.ID, Machine: -1})
+	kind := trace.TaskRequeued
+	if s.ckpt.Enabled() {
+		s.evalCache.Forget(t.ID)
+		if t.Consumed > 0 {
+			kind = trace.TaskRestored
+			s.restored++
+		}
+	}
+	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: kind, TaskID: t.ID, Machine: -1, Value: float64(t.Consumed)})
 	s.afterEvent()
 }
 
@@ -962,6 +1178,18 @@ func (s *Simulator) Preempted() int { return s.preempted }
 // Requeued returns how many tasks machine failures returned to the batch
 // queue (scenario engine).
 func (s *Simulator) Requeued() int { return s.requeued }
+
+// Restored returns how many failure requeues resumed from a checkpoint
+// (surviving Consumed credit) instead of restarting from zero.
+func (s *Simulator) Restored() int { return s.restored }
+
+// Checkpoints returns how many checkpoints tasks wrote during the trial
+// (periodic interval crossings plus on-preempt pauses).
+func (s *Simulator) Checkpoints() int { return s.checkpoints }
+
+// CheckpointPolicy returns the resolved checkpoint/restore policy (nil when
+// disabled).
+func (s *Simulator) CheckpointPolicy() *scenario.CheckpointPolicy { return s.ckpt }
 
 // MappingEvents returns how many mapping events fired.
 func (s *Simulator) MappingEvents() int { return s.mappingEvents }

@@ -81,6 +81,14 @@ type Task struct {
 	// earlier (preempted) runs; Preemptions counts how often it was paused.
 	Consumed    int64
 	Preemptions int
+
+	// Checkpoint/restore state: LastCheckpoint is the cumulative nominal
+	// progress (in the same machine-independent ticks as Consumed) at the
+	// task's last completed checkpoint — the point a machine failure
+	// restores it to; Checkpoints counts how many checkpoints it has
+	// written across all runs. Both stay zero when checkpointing is off.
+	LastCheckpoint int64
+	Checkpoints    int
 }
 
 // New constructs a pending task. TrueExec is filled in by the workload

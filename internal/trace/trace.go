@@ -46,6 +46,10 @@ const (
 	// TaskRequeued: a machine failure returned a queued or executing task
 	// to the batch queue (its progress, if any, is lost).
 	TaskRequeued
+	// TaskRestored: a machine failure returned a task to the batch queue
+	// with checkpointed progress surviving (Value carries the restored
+	// Consumed credit in nominal ticks).
+	TaskRestored
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +83,8 @@ func (k Kind) String() string {
 		return "m-degraded"
 	case TaskRequeued:
 		return "requeued"
+	case TaskRestored:
+		return "restored"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

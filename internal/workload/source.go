@@ -89,6 +89,8 @@ func getTask(nm int) *task.Task {
 	t.Defers = 0
 	t.Consumed = 0
 	t.Preemptions = 0
+	t.LastCheckpoint = 0
+	t.Checkpoints = 0
 	return t
 }
 

@@ -158,6 +158,10 @@ type (
 	Datacenter = cluster.DC
 	// DispatchPolicy routes arriving tasks to datacenters.
 	DispatchPolicy = cluster.Policy
+	// CheckpointPolicy declares whether (and how often) tasks persist
+	// execution progress, what each checkpoint costs, and whether
+	// checkpoints survive a whole-DC outage.
+	CheckpointPolicy = scenario.CheckpointPolicy
 )
 
 // Failure policies for scenario machine failures.
@@ -166,6 +170,24 @@ const (
 	RequeueOnFailure = scenario.Requeue
 	// DropOnFailure exits a failed machine's tasks as dropped.
 	DropOnFailure = scenario.Drop
+)
+
+// Checkpoint kinds and survival modes (CheckpointPolicy fields).
+const (
+	// CheckpointNone disables checkpointing (failures lose all progress).
+	CheckpointNone = scenario.CheckpointNone
+	// CheckpointPeriodic checkpoints every Interval nominal ticks of
+	// progress, each costing Overhead wall ticks.
+	CheckpointPeriodic = scenario.CheckpointPeriodic
+	// CheckpointOnPreempt checkpoints only at preemption pauses.
+	CheckpointOnPreempt = scenario.CheckpointOnPreempt
+	// SurviveLocal keeps checkpoints on DC-local storage: they die with
+	// the datacenter in a dc-fail.
+	SurviveLocal = scenario.SurviveLocal
+	// SurviveReplicated replicates checkpoints across datacenters: a
+	// dc-fail failover resumes from the last checkpoint minus the
+	// replication lag.
+	SurviveReplicated = scenario.SurviveReplicated
 )
 
 // Constructors and helpers re-exported from the internal packages.
