@@ -40,12 +40,15 @@ bench-guard:
 
 # Race check of the parallel trial runner driven by pull-based streaming
 # sources (the shared-state surface across workers), including the sharded
-# cluster runner, plus the 1-DC cluster equivalence and checkpoint-disabled
-# equivalence tests under -race.
+# cluster runner, plus the 1-DC cluster equivalence, checkpoint-disabled
+# equivalence, and oracle-belief equivalence tests under -race, and the
+# mixed reader/writer hammer on the PET scaled/remaining entry caches
+# (shared across parallel trials).
 race-stream:
 	$(GO) test -race -run Streamed ./internal/experiments/
 	$(GO) test -race -run ClusterEquivalence ./internal/cluster/
-	$(GO) test -race -run CheckpointDisabledEquivalence ./internal/simulator/
+	$(GO) test -race -run 'CheckpointDisabledEquivalence|BeliefOracleEquivalence' ./internal/simulator/
+	$(GO) test -race -run ScaledAndRemainingCachesConcurrent ./internal/pet/
 
 # Short fuzz run of both wire-format parsers, seeded from the committed
 # corpora under testdata/fuzz/ (known-interesting inputs, not an empty

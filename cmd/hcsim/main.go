@@ -57,6 +57,8 @@ var experimentOrder = []struct {
 	{"scen-fault", experiments.ScenarioFaultTolerance},
 	{"cluster-fault", experiments.ClusterFaultTolerance},
 	{"checkpoint", experiments.CheckpointRestore},
+	{"stale-pet", experiments.StalePET},
+	{"belief-converge", experiments.BeliefConvergence},
 }
 
 // registry indexes experimentOrder by name; "single" and "all" are handled
@@ -103,6 +105,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "pull arrivals from the constant-memory streaming source (per-type RNG splits; workloads differ from the replay schedule at equal seeds), enabling -tasks far past materializable scale")
 		dcs       = flag.Int("dcs", 1, "shard -exp single across this many datacenters (1 = the plain single-fleet engine)")
 		route     = flag.String("route", "round-robin", "dispatch policy for -dcs > 1: "+strings.Join(cluster.PolicyNames(), ", "))
+		belief    = flag.String("belief", "", "mapper knowledge model for -exp single: oracle, frozen, or online (empty = the scenario's, else oracle)")
 	)
 	flag.Parse()
 
@@ -120,13 +123,17 @@ func main() {
 				fatal(err)
 			}
 		}
+		bp, err := beliefFor(*belief)
+		if err != nil {
+			fatal(err)
+		}
 		if *dcs > 1 {
-			if err := runCluster(opts, *heuristic, *level, sc, *dcs, *route); err != nil {
+			if err := runCluster(opts, *heuristic, *level, sc, bp, *dcs, *route); err != nil {
 				fatal(err)
 			}
 			return
 		}
-		if err := runSingle(opts, *heuristic, *level, sc); err != nil {
+		if err := runSingle(opts, *heuristic, *level, sc, bp); err != nil {
 			fatal(err)
 		}
 		return
@@ -180,6 +187,23 @@ func tablesFor(name string, fig *experiments.Figure) []*report.Table {
 	}
 }
 
+// beliefFor parses the -belief flag into a policy (nil when empty: the
+// simulator adopts the scenario's policy, defaulting to the oracle).
+func beliefFor(name string) (*scenario.BeliefPolicy, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "oracle":
+		return &scenario.BeliefPolicy{Kind: scenario.BeliefOracle}, nil
+	case "frozen":
+		return &scenario.BeliefPolicy{Kind: scenario.BeliefFrozen}, nil
+	case "online":
+		return &scenario.BeliefPolicy{Kind: scenario.BeliefOnline}, nil
+	default:
+		return nil, fmt.Errorf("unknown -belief %q (oracle, frozen, online)", name)
+	}
+}
+
 // singleSource builds the arrival source for one -exp single trial.
 func singleSource(opts experiments.Options, level float64, sc *scenario.Scenario) (workload.Source, error) {
 	matrix := experiments.SPECPET()
@@ -200,13 +224,14 @@ func singleSource(opts experiments.Options, level float64, sc *scenario.Scenario
 // runSingle executes one trial of one heuristic (optionally under a fleet
 // scenario) and prints its statistics — the quickest way to poke at the
 // system.
-func runSingle(opts experiments.Options, name string, level float64, sc *scenario.Scenario) error {
+func runSingle(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy) error {
 	matrix := experiments.SPECPET()
 	cfg, err := simulator.ConfigFor(name, matrix)
 	if err != nil {
 		return err
 	}
 	cfg.Scenario = sc
+	cfg.Belief = bp
 	src, err := singleSource(opts, level, sc)
 	if err != nil {
 		return err
@@ -240,19 +265,24 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 		fmt.Printf("%s: %d checkpoints written, %d of %d requeues restored from a checkpoint\n",
 			p, sim.Checkpoints(), sim.Restored(), sim.Requeued())
 	}
+	if p := sim.BeliefPolicy(); p != nil {
+		fmt.Printf("%s: %d completions observed, %d belief refreshes\n",
+			p, sim.BeliefObservations(), sim.BeliefRefreshes())
+	}
 	return nil
 }
 
 // runCluster executes one sharded trial — one workload stream fanned out
 // across -dcs datacenters through the chosen dispatch policy — and prints
 // the cluster aggregate plus a per-datacenter breakdown.
-func runCluster(opts experiments.Options, name string, level float64, sc *scenario.Scenario, dcs int, route string) error {
+func runCluster(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy, dcs int, route string) error {
 	matrix := experiments.SPECPET()
 	simCfg, err := simulator.ConfigFor(name, matrix)
 	if err != nil {
 		return err
 	}
 	simCfg.Scenario = sc
+	simCfg.Belief = bp
 	policy, err := cluster.NewPolicy(route)
 	if err != nil {
 		return err

@@ -1,0 +1,131 @@
+// Stale beliefs: what happens when the mapper's execution-time knowledge
+// is wrong?
+//
+// The paper's mapper consults a PET matrix profiled offline. This demo
+// splits that knowledge from the ground truth and asks two questions.
+//
+// First, what does staleness cost? The same oversubscribed workload runs
+// under a mid-trial drift that slows three machines to 2.5x, once with an
+// oracle belief (the mapper sees the truth — the paper's setting) and
+// once with the belief frozen at t=0. The frozen mapper keeps pruning
+// against distributions the drift has invalidated, and pays for it.
+//
+// Second, what does online re-estimation buy? The mapper is handed a
+// cold prior — a flat PET that knows only the fleet-wide mean, none of
+// the per-(type, machine) structure — and runs with it frozen versus
+// rebuilding per-cell PMFs from observed completions. As observations
+// accumulate past the sample floor, the online mapper recovers structure
+// the prior never had and climbs away from the frozen-cold floor toward
+// the oracle ceiling.
+//
+// Run with:
+//
+//	go run ./examples/stalebeliefs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskprune"
+)
+
+func run(cfg taskprune.SimConfig, matrix *taskprune.PETMatrix, numTasks int) (*taskprune.Simulator, taskprune.TrialStats) {
+	wcfg := taskprune.WorkloadConfig{
+		NumTasks: numTasks,
+		Rate:     taskprune.RateForLevel(taskprune.Level19k),
+		VarFrac:  0.10,
+		Beta:     2.0,
+	}
+	tasks := taskprune.MustGenerateWorkload(wcfg, matrix, taskprune.NewRNG(7))
+	sim, err := taskprune.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sim.Run(tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sim, stats
+}
+
+func main() {
+	matrix := taskprune.SPECPET()
+
+	// Part 1: the cost of staleness. Three machines drift to 2.5x slower
+	// over the heart of the trial; the degradation is real, but only the
+	// oracle mapper is told about it.
+	drift := taskprune.NewScenario("stale-drift").
+		DriftAt(800, 2400, 0, 1, 2.5, 0).
+		DriftAt(800, 2400, 3, 1, 2.5, 0).
+		DriftAt(800, 2400, 6, 1, 2.5, 0)
+
+	fmt.Println("1. the cost of stale knowledge (PAM @19k, 2.5x three-machine drift):")
+	fmt.Println()
+	for _, b := range []struct {
+		name   string
+		policy *taskprune.BeliefPolicy
+	}{
+		{"oracle", nil}, // no policy: the mapper sees the truth
+		{"frozen", &taskprune.BeliefPolicy{Kind: taskprune.BeliefFrozen}},
+	} {
+		cfg := taskprune.MustConfigFor("PAM", matrix)
+		cfg.Scenario = drift
+		cfg.Belief = b.policy
+		_, stats := run(cfg, matrix, 800)
+		fmt.Printf("   %-7s  %5.1f%% robustness\n", b.name, stats.RobustnessPct)
+	}
+
+	// Part 2: what re-estimation buys. A cold prior that knows only the
+	// fleet-wide mean execution time — no per-(type, machine) structure.
+	gm := matrix.GrandMean()
+	means := make([][]float64, matrix.NumTypes())
+	for i := range means {
+		row := make([]float64, matrix.NumMachines())
+		for j := range row {
+			row[j] = gm
+		}
+		means[i] = row
+	}
+	prior, err := taskprune.BuildPET(means, taskprune.DefaultPETBuildConfig(), taskprune.NewRNG(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("2. learning a cold prior (static fleet, flat prior vs the real PET):")
+	fmt.Println()
+	fmt.Printf("   %-6s  %11s  %11s  %8s\n", "tasks", "frozen-cold", "online-cold", "oracle")
+	for _, n := range []int{400, 800, 1600} {
+		var rob [3]float64
+		var observed, refreshes int
+		for i, policy := range []*taskprune.BeliefPolicy{
+			{Kind: taskprune.BeliefFrozen},
+			{Kind: taskprune.BeliefOnline, Refresh: 10, MinSamples: 5},
+			nil,
+		} {
+			cfg := taskprune.MustConfigFor("PAM", matrix)
+			cfg.Belief = policy
+			if policy != nil {
+				cfg.BeliefPrior = prior
+			}
+			sim, stats := run(cfg, matrix, n)
+			rob[i] = stats.RobustnessPct
+			if policy != nil && policy.Kind == taskprune.BeliefOnline {
+				observed, refreshes = sim.BeliefObservations(), sim.BeliefRefreshes()
+			}
+		}
+		fmt.Printf("   %-6d  %10.1f%%  %10.1f%%  %7.1f%%   (%d observed, %d refreshes)\n",
+			n, rob[0], rob[1], rob[2], observed, refreshes)
+	}
+
+	fmt.Println()
+	fmt.Println("The frozen-cold mapper never escapes the flat prior; the online mapper")
+	fmt.Println("recovers per-cell structure from completions once cells pass the sample")
+	fmt.Println("floor and pulls ahead. Single-seed runs are noisy — the stale-pet and")
+	fmt.Println("belief-converge experiments (cmd/hcsim) average both effects over trials.")
+	fmt.Println()
+	if blob, err := drift.MarshalJSON(); err == nil {
+		fmt.Printf("the drift scenario as JSON (hcsim -exp single -scenario file.json -belief frozen):\n%s\n", blob)
+	}
+}

@@ -60,7 +60,10 @@ type DC struct {
 	index int
 	cols  []int
 	sim   *simulator.Simulator
-	pet   *pet.Matrix
+	// view is the PET the datacenter's simulator schedules on — the
+	// belief, not necessarily the truth — so dispatch scoring and mapping
+	// agree on what they believe about execution times.
+	view pet.View
 	// alive tracks dc-fail/dc-recover only; a datacenter whose machines
 	// are individually down (machine-scoped events) still receives
 	// arrivals — that is a brownout, not an outage.
@@ -98,12 +101,12 @@ func (d *DC) onTimeScore(now int64, t *task.Task) float64 {
 		if !m.Alive() {
 			continue
 		}
-		ready := m.ExpectedReady(now, d.pet)
+		ready := m.ExpectedReady(now, d.view)
 		slack := float64(t.Deadline) - ready
 		if slack < 0 {
 			continue
 		}
-		p := d.pet.ScaledProfile(t.Type, m.ID, m.Speed()).CDF(int64(slack))
+		p := d.view.ScaledProfile(t.Type, m.ID, m.Speed()).CDF(int64(slack))
 		if p > best {
 			best = p
 		}
@@ -177,6 +180,13 @@ func New(cfg Config) (*Engine, error) {
 	if ckpt == nil && cfg.Sim.Scenario != nil {
 		ckpt = cfg.Sim.Scenario.Checkpoint
 	}
+	// The belief policy is pinned the same way — each datacenter gets its
+	// own belief instance (its own online estimator learning from its own
+	// completions) under one shared policy.
+	bp := cfg.Sim.Belief
+	if bp == nil && cfg.Sim.Scenario != nil {
+		bp = cfg.Sim.Scenario.Belief
+	}
 	e := &Engine{cfg: cfg, matrix: cfg.Sim.PET, policy: policy, clusterEvents: clusterEvents}
 	for d := 0; d < cfg.DCs; d++ {
 		lo, hi := d*nm/cfg.DCs, (d+1)*nm/cfg.DCs
@@ -188,6 +198,7 @@ func New(cfg Config) (*Engine, error) {
 		cfgd.Machines = cols
 		cfgd.Scenario = perDC[d]
 		cfgd.Checkpoint = ckpt
+		cfgd.Belief = bp
 		if cfg.Traces != nil {
 			cfgd.Trace = cfg.Traces[d]
 		}
@@ -195,7 +206,7 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: datacenter %d: %w", d, err)
 		}
-		e.dcs = append(e.dcs, &DC{index: d, cols: cols, sim: sim, pet: cfg.Sim.PET, alive: true})
+		e.dcs = append(e.dcs, &DC{index: d, cols: cols, sim: sim, view: sim.View(), alive: true})
 	}
 	return e, nil
 }

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taskprune/internal/pet"
+	"taskprune/internal/scenario"
+	"taskprune/internal/simulator"
+	"taskprune/internal/stats"
+	"taskprune/internal/workload"
+)
+
+// This file measures what the paper's oracle-scheduler assumption is worth.
+// Every robustness figure so far let the mapper read the true PET at every
+// eval site — even while drift events moved it. The belief split makes the
+// knowledge model a variable: the stale-pet study re-runs the robustness
+// figure with the mapper's PET frozen at t=0 while the truth drifts, and
+// the belief-converge study starts the mapper from a deliberately
+// uninformative prior and watches online re-estimation claw the oracle's
+// robustness back as completions accumulate.
+
+// beliefVariant is one knowledge model under test.
+type beliefVariant struct {
+	label string
+	p     *scenario.BeliefPolicy
+}
+
+// beliefVariants is the standard sweep: the oracle (today's engine), the
+// frozen t=0 belief, and the online estimator at its default cadence.
+func beliefVariants() []beliefVariant {
+	return []beliefVariant{
+		{"oracle", nil},
+		{"frozen", &scenario.BeliefPolicy{Kind: scenario.BeliefFrozen}},
+		{"online", &scenario.BeliefPolicy{Kind: scenario.BeliefOnline}},
+	}
+}
+
+// beliefDriftScenario degrades machines 0, 3, and 6 from nominal speed to
+// `to` with linear ramps over ticks 800–2400 — roughly the middle half of
+// an 800-task trial's ≈4100-tick span at the 19k level, like
+// FaultScenario's calibration. Three of eight machines slowing down moves
+// enough of the fleet that a mapper still scheduling on the t=0 profile
+// keeps packing queues the degraded machines can no longer drain.
+func beliefDriftScenario(to float64) *scenario.Scenario {
+	return scenario.New(fmt.Sprintf("stale-pet-%.1fx", to)).
+		DriftAt(800, 2400, 0, 1, to, 0).
+		DriftAt(800, 2400, 3, 1, to, 0).
+		DriftAt(800, 2400, 6, 1, to, 0)
+}
+
+// StalePET sweeps PAM's robustness against drift magnitude under the three
+// knowledge models at the 19k level. The oracle column is the paper's
+// assumption (the mapper sees every degradation instantly), the frozen
+// column is the worst case (it never sees any), and the online column is
+// the realistic middle (it re-learns each machine's distribution from the
+// completions it observes). The gap between oracle and frozen at each
+// drift magnitude is the price of scheduling on stale knowledge; how much
+// of that gap the online column closes is what re-estimation buys.
+func StalePET(o Options) (*Figure, error) {
+	matrix := SPECPET()
+	wcfg := o.workloadConfig(workload.Level19k)
+	fig := &Figure{
+		Name:    "StalePET",
+		Caption: "PAM robustness @19k: drift magnitude vs mapper knowledge model (oracle / frozen / online belief)",
+	}
+	for _, v := range beliefVariants() {
+		for _, drift := range []float64{1, 1.5, 2, 3} {
+			cfg := simulator.MustConfigFor("PAM", matrix)
+			label := "no drift"
+			if drift > 1 {
+				cfg.Scenario = beliefDriftScenario(drift)
+				label = fmt.Sprintf("drift x%.1f", drift)
+			}
+			cfg.Belief = v.p
+			trials, err := o.RunPoint(matrix, wcfg, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("stale-pet PAM/%s/%s: %w", v.label, label, err)
+			}
+			fig.Points = append(fig.Points, NewPoint("PAM "+v.label, label, trials))
+		}
+	}
+	return fig, nil
+}
+
+// coldPrior returns a deliberately uninformative PET: every (type,
+// machine) cell profiled at the truth's grand mean, so the prior knows the
+// overall workload scale but nothing about which machines are fast for
+// which types — the knowledge PAM's pruning actually runs on.
+func coldPrior(truth *pet.Matrix) *pet.Matrix {
+	g := truth.GrandMean()
+	means := make([][]float64, truth.NumTypes())
+	for t := range means {
+		row := make([]float64, truth.NumMachines())
+		for mi := range row {
+			row[mi] = g
+		}
+		means[t] = row
+	}
+	return pet.MustBuild(means, pet.DefaultBuildConfig(), stats.NewRNG(petSeed+1))
+}
+
+// BeliefConvergence starts PAM from the cold prior on a static fleet and
+// sweeps trial length: with no per-cell knowledge the frozen mapper cannot
+// tell fast machines from slow ones and prunes on wrong success
+// probabilities for the whole trial, while the online mapper earns the
+// truth back one completion at a time — its robustness trajectory versus
+// tasks observed is the convergence curve, with the oracle rows as the
+// ceiling. The refresh cadence knob is the entry point for studying how
+// much estimation lag multi-tenant fairness can tolerate.
+func BeliefConvergence(o Options) (*Figure, error) {
+	matrix := SPECPET()
+	prior := coldPrior(matrix)
+	fig := &Figure{
+		Name:    "BeliefConverge",
+		Caption: "PAM robustness @19k vs trial length: cold-prior frozen and online beliefs against the oracle ceiling",
+	}
+	variants := []beliefVariant{
+		{"oracle", nil},
+		{"frozen", &scenario.BeliefPolicy{Kind: scenario.BeliefFrozen}},
+		// An eager estimator (half the default floor and cadence): with a
+		// cold prior every observation is better than what the mapper has,
+		// so waiting for large samples just prolongs the blind window.
+		{"online", &scenario.BeliefPolicy{Kind: scenario.BeliefOnline, Refresh: 10, MinSamples: 5}},
+	}
+	for _, v := range variants {
+		for _, tasks := range []int{200, 400, 800, 1600} {
+			oo := o
+			oo.Tasks = tasks
+			wcfg := oo.workloadConfig(workload.Level19k)
+			cfg := simulator.MustConfigFor("PAM", matrix)
+			cfg.Belief = v.p
+			if v.p.Enabled() {
+				cfg.BeliefPrior = prior
+			}
+			trials, err := oo.RunPoint(matrix, wcfg, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("belief-converge PAM/%s/%d tasks: %w", v.label, tasks, err)
+			}
+			series := "PAM " + v.label
+			if v.p.Enabled() {
+				series += " cold"
+			}
+			fig.Points = append(fig.Points, NewPoint(series, fmt.Sprintf("%d tasks", tasks), trials))
+		}
+	}
+	return fig, nil
+}

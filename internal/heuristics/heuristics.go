@@ -24,7 +24,7 @@ import (
 type Context struct {
 	Now         int64
 	Machines    []*machine.Machine
-	PET         *pet.Matrix
+	PET         pet.View
 	Mode        pmf.DropMode // governs completion-time convolution semantics
 	MaxImpulses int          // PMF compaction bound (0 = none)
 
@@ -98,7 +98,7 @@ func (c *Context) TaskExecPMF(t *task.Task, mi int) *pmf.PMF {
 		return c.ExecPMF(t.Type, mi)
 	}
 	m := c.Machines[mi]
-	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).PMF
+	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), t.Consumed).PMF
 }
 
 // TaskExecProfile is TaskExecPMF's prefix-sum profile (the phase-one
@@ -108,7 +108,7 @@ func (c *Context) TaskExecProfile(t *task.Task, mi int) *pmf.Profile {
 		return c.ExecProfile(t.Type, mi)
 	}
 	m := c.Machines[mi]
-	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).Prof
+	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), t.Consumed).Prof
 }
 
 // TaskExecMean is the mean of TaskExecPMF: the expected remaining execution
@@ -118,7 +118,7 @@ func (c *Context) TaskExecMean(t *task.Task, mi int) float64 {
 		return c.ExecMean(t.Type, mi)
 	}
 	m := c.Machines[mi]
-	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).Mean
+	return c.PET.RemainingEntry(t.Type, m.ID, m.Speed(), t.Consumed).Mean
 }
 
 // Result reports what a mapping event did. When the Context carries a

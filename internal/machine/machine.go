@@ -55,6 +55,12 @@ type Machine struct {
 // Version returns the monotonically increasing queue-mutation counter.
 func (m *Machine) Version() uint64 { return m.version }
 
+// BumpVersion invalidates every cached evaluation of this machine without
+// mutating its queue. The simulator calls it when the belief PET refreshes:
+// the queue is unchanged but every distribution it was evaluated under is
+// stale.
+func (m *Machine) BumpVersion() { m.version++ }
+
 // New creates an idle machine at nominal speed.
 func New(id int, name string, queueCap int, price float64) *Machine {
 	if queueCap < 1 {
@@ -235,7 +241,7 @@ type QueueView struct {
 // in queue order. The executing task's remaining time is its PET
 // conditioned on having already run for (now - Start) ticks. maxImpulses
 // bounds intermediate PMF width (0 disables compaction).
-func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode, maxImpulses int) []QueueView {
+func (m *Machine) AnalyzeQueue(now int64, matrix pet.View, mode pmf.DropMode, maxImpulses int) []QueueView {
 	var views []QueueView
 	prev := pmf.Impulse(now)
 	pos := 0
@@ -269,7 +275,7 @@ func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode,
 		pos++
 	}
 	for _, t := range m.pending {
-		exec := matrix.RemainingEntry(t.Type, m.ID, m.speed, pmf.ScaleDur(t.Consumed, m.speed)).PMF
+		exec := matrix.RemainingEntry(t.Type, m.ID, m.speed, t.Consumed).PMF
 		res := pmf.ConvolveDrop(prev, exec, t.Deadline, mode)
 		free := pmf.Compact(res.Free, maxImpulses)
 		views = append(views, QueueView{
@@ -286,7 +292,7 @@ func (m *Machine) AnalyzeQueue(now int64, matrix *pet.Matrix, mode pmf.DropMode,
 // everything currently assigned to it (the tail PCT robustness-based
 // mappers convolve candidate tasks against). For an empty machine it is an
 // impulse at now.
-func (m *Machine) FreeTimePMF(now int64, matrix *pet.Matrix, mode pmf.DropMode, maxImpulses int) *pmf.PMF {
+func (m *Machine) FreeTimePMF(now int64, matrix pet.View, mode pmf.DropMode, maxImpulses int) *pmf.PMF {
 	return m.TailPMF(nil, now, matrix, mode, maxImpulses)
 }
 
@@ -294,7 +300,7 @@ func (m *Machine) FreeTimePMF(now int64, matrix *pet.Matrix, mode pmf.DropMode, 
 // the arena (nil falls back to the heap): it walks the same completion
 // chain as AnalyzeQueue without materializing per-task views, which is all
 // a mapping event needs. The result is valid until the arena's next Reset.
-func (m *Machine) TailPMF(a *pmf.Arena, now int64, matrix *pet.Matrix, mode pmf.DropMode, maxImpulses int) *pmf.PMF {
+func (m *Machine) TailPMF(a *pmf.Arena, now int64, matrix pet.View, mode pmf.DropMode, maxImpulses int) *pmf.PMF {
 	prev := a.Impulse(now)
 	if m.executing != nil {
 		t := m.executing
@@ -312,7 +318,7 @@ func (m *Machine) TailPMF(a *pmf.Arena, now int64, matrix *pet.Matrix, mode pmf.
 	for _, t := range m.pending {
 		// Consumed > 0 (preempted or restored): the matrix's cached
 		// conditioned view, bit-identical to RemainingAfter on the heap.
-		exec := matrix.RemainingEntry(t.Type, m.ID, m.speed, pmf.ScaleDur(t.Consumed, m.speed)).PMF
+		exec := matrix.RemainingEntry(t.Type, m.ID, m.speed, t.Consumed).PMF
 		res := a.ConvolveDrop(prev, exec, t.Deadline, mode)
 		prev = a.Compact(res.Free, maxImpulses)
 	}
@@ -323,7 +329,7 @@ func (m *Machine) TailPMF(a *pmf.Arena, now int64, matrix *pet.Matrix, mode pmf.
 // begin one more task: now + expected remaining execution + expected
 // pending executions. Scalar heuristics (MM, MSD, MMU) build their
 // expected completion times on top of this.
-func (m *Machine) ExpectedReady(now int64, matrix *pet.Matrix) float64 {
+func (m *Machine) ExpectedReady(now int64, matrix pet.View) float64 {
 	ready := float64(now)
 	if m.executing != nil {
 		t := m.executing
@@ -335,7 +341,7 @@ func (m *Machine) ExpectedReady(now int64, matrix *pet.Matrix) float64 {
 			// Preempted/restored: the cached conditioned view's mean (its
 			// Mean field is the conditioned PMF's profiled mean, unlike
 			// nominal entries whose Mean is the ground-truth gamma mean).
-			ready += matrix.RemainingEntry(t.Type, m.ID, m.speed, pmf.ScaleDur(t.Consumed, m.speed)).Mean
+			ready += matrix.RemainingEntry(t.Type, m.ID, m.speed, t.Consumed).Mean
 		} else {
 			ready += matrix.ScaledEstMean(t.Type, m.ID, m.speed)
 		}

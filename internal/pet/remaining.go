@@ -18,10 +18,10 @@ import (
 // allocation-free. Consumed 0 bypasses the cache entirely and returns the
 // scaled entry, keeping checkpoint-free runs bit-identical and lock-free.
 
-// remainingKey identifies one conditioned entry. consumed is in the *scaled*
-// time base of the entry it conditions (callers scale the nominal banked
-// progress by the machine's current factor first, mirroring the simulator's
-// own RemainingAfter(ScaleDur(...)) composition).
+// remainingKey identifies one conditioned entry. consumed is the *nominal*
+// banked progress (task.Task.Consumed); RemainingEntry scales it into the
+// factor's time base internally, so the key stays a pure function of what
+// callers know without pre-scaling.
 type remainingKey struct {
 	t        task.Type
 	mi       int
@@ -46,10 +46,12 @@ type remainingCache struct {
 const maxRemainingEntries = 4096
 
 // RemainingEntry returns the entry of type t on machine mi under speed
-// factor, conditioned on the task having already received consumed ticks of
-// execution in that factor's time base (X−c | X>c). Consumed 0 is exactly
-// ScaledEntry. The returned entry's Mean/Shape carry the conditioned PMF's
-// mean (there is no ground-truth gamma for a conditioned view).
+// factor, conditioned on the task having already banked consumed *nominal*
+// ticks of progress (X−c' | X>c' where c' = ScaleDur(consumed, factor) is
+// the progress re-expressed in the factor's time base). Consumed <= 0 is
+// exactly ScaledEntry. The returned entry's Mean/Shape carry the
+// conditioned PMF's mean (there is no ground-truth gamma for a conditioned
+// view).
 func (m *Matrix) RemainingEntry(t task.Type, mi int, factor float64, consumed int64) *Entry {
 	if consumed <= 0 {
 		return m.ScaledEntry(t, mi, factor)
@@ -67,7 +69,7 @@ func (m *Matrix) RemainingEntry(t task.Type, mi int, factor float64, consumed in
 		return e
 	}
 	base := m.ScaledEntry(t, mi, factor)
-	p := base.PMF.RemainingAfter(consumed)
+	p := base.PMF.RemainingAfter(pmf.ScaleDur(consumed, factor))
 	e = &Entry{PMF: p, Prof: pmf.NewProfile(p), Mean: p.Mean(), Shape: base.Shape}
 	if len(m.remaining.entries) < maxRemainingEntries {
 		if m.remaining.entries == nil {

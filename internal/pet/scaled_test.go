@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"taskprune/internal/stats"
+	"taskprune/internal/task"
 )
 
 func scaledTestMatrix(t *testing.T) *Matrix {
@@ -54,6 +55,51 @@ func TestScaledEntryCachedAndConsistent(t *testing.T) {
 	// Distinct factors are distinct entries.
 	if m.ScaledEntry(1, 0, 3.0) == a {
 		t.Error("different factors share one entry")
+	}
+}
+
+// TestScaledAndRemainingCachesConcurrent hammers both RWMutex caches with
+// mixed readers and writers at once — ScaledEntry and RemainingEntry
+// lookups interleaved across goroutines, cells, factors, and consumed
+// values, so first-populate writes race against steady-state reads on both
+// maps. The Matrix is shared across parallel trials, so this must be clean
+// under -race (make race-stream runs it there) and every goroutine must
+// observe identical cached pointers for identical keys.
+func TestScaledAndRemainingCachesConcurrent(t *testing.T) {
+	m := scaledTestMatrix(t)
+	factors := []float64{1, 1.5, 2, 2.5, 3}
+	consumed := []int64{0, 3, 5, 8}
+	const goroutines, iters = 8, 400
+	var wg sync.WaitGroup
+	scaled := make([][]*Entry, goroutines)
+	remaining := make([][]*Entry, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tt, mi := i%2, (i/2)%2
+				f := factors[i%len(factors)]
+				c := consumed[i%len(consumed)]
+				scaled[g] = append(scaled[g], m.ScaledEntry(task.Type(tt), mi, f))
+				remaining[g] = append(remaining[g], m.RemainingEntry(task.Type(tt), mi, f, c))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range scaled[g] {
+			if scaled[g][i] != scaled[0][i] {
+				t.Fatalf("goroutine %d observed a different scaled entry at %d", g, i)
+			}
+			if remaining[g][i] != remaining[0][i] {
+				t.Fatalf("goroutine %d observed a different remaining entry at %d", g, i)
+			}
+		}
+	}
+	// Consumed 0 must have bypassed the remaining cache into the scaled one.
+	if m.RemainingEntry(0, 0, 2, 0) != m.ScaledEntry(0, 0, 2) {
+		t.Fatal("consumed 0 must be exactly ScaledEntry")
 	}
 }
 

@@ -28,6 +28,12 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"checkpoint":{"kind":"on-preempt","survival":"local"}}`)
 	f.Add(`{"checkpoint":{"kind":"periodic"}}`)
 	f.Add(`{"checkpoint":{"kind":"never","interval":-3}}`)
+	f.Add(`{"belief":{"kind":"oracle"}}`)
+	f.Add(`{"belief":{"kind":"frozen"},"events":[{"tick":100,"kind":"drift","machine":1,"until":500,"from":1,"to":3,"steps":4}]}`)
+	f.Add(`{"belief":{"kind":"online","refresh":10,"min_samples":5,"bins":16}}`)
+	f.Add(`{"belief":{"kind":"online","refresh":-1}}`)
+	f.Add(`{"belief":{"kind":"frozen","min_samples":5}}`)
+	f.Add(`{"belief":{"kind":"psychic"}}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse(strings.NewReader(src))
 		if err != nil {
@@ -69,6 +75,10 @@ func FuzzParse(f *testing.F) {
 		if (again.Checkpoint == nil) != (s.Checkpoint == nil) ||
 			(s.Checkpoint != nil && *again.Checkpoint != *s.Checkpoint) {
 			t.Fatalf("round trip changed the checkpoint policy: %+v vs %+v", s.Checkpoint, again.Checkpoint)
+		}
+		if (again.Belief == nil) != (s.Belief == nil) ||
+			(s.Belief != nil && *again.Belief != *s.Belief) {
+			t.Fatalf("round trip changed the belief policy: %+v vs %+v", s.Belief, again.Belief)
 		}
 	})
 }

@@ -169,6 +169,14 @@ type Scenario struct {
 	// next to the failures it answers; the simulator reads it through
 	// simulator.Config.Checkpoint (an explicitly configured policy wins).
 	Checkpoint *CheckpointPolicy
+	// Belief, when non-nil, selects what the mapper knows about execution
+	// times: the oracle (ground truth, the default), a belief frozen at
+	// t=0 while drift/degrade move the truth, or an online estimator
+	// rebuilt from observed completions. It rides in the wire format so a
+	// robustness study declares its knowledge model next to the events
+	// that invalidate it; the simulator reads it through
+	// simulator.Config.Belief (an explicitly configured policy wins).
+	Belief *BeliefPolicy
 }
 
 // New returns an empty named scenario, ready for the builder methods.
@@ -227,6 +235,12 @@ func (s *Scenario) WithCheckpoint(p CheckpointPolicy) *Scenario {
 	return s
 }
 
+// WithBelief sets the mapper's knowledge model. Returns s for chaining.
+func (s *Scenario) WithBelief(p BeliefPolicy) *Scenario {
+	s.Belief = &p
+	return s
+}
+
 // StartDown marks machines as absent at tick 0. Returns s for chaining.
 func (s *Scenario) StartDown(machines ...int) *Scenario {
 	s.InitialDown = append(s.InitialDown, machines...)
@@ -281,6 +295,9 @@ func (s *Scenario) validate(nMachines, nDCs int) error {
 		return fmt.Errorf("scenario %q: fleet has %d machines", s.Name, nMachines)
 	}
 	if err := s.Checkpoint.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := s.Belief.Validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	down := make(map[int]bool, len(s.InitialDown))
@@ -409,6 +426,7 @@ type jsonScenario struct {
 	Events      []jsonEvent     `json:"events,omitempty"`
 	Bursts      []jsonBurst     `json:"bursts,omitempty"`
 	Checkpoint  *jsonCheckpoint `json:"checkpoint,omitempty"`
+	Belief      *jsonBelief     `json:"belief,omitempty"`
 }
 
 type jsonEvent struct {
@@ -451,6 +469,11 @@ func Parse(r io.Reader) (*Scenario, error) {
 		return nil, err
 	}
 	s.Checkpoint = ckpt
+	belief, err := parseBelief(in.Belief)
+	if err != nil {
+		return nil, err
+	}
+	s.Belief = belief
 	for i, je := range in.Events {
 		e := Event{Tick: je.Tick, Machine: je.Machine}
 		switch je.Kind {
@@ -531,7 +554,7 @@ func Load(path string) (*Scenario, error) {
 // MarshalJSON implements json.Marshaler so scenarios round-trip through the
 // same wire form Parse reads.
 func (s *Scenario) MarshalJSON() ([]byte, error) {
-	out := jsonScenario{Name: s.Name, InitialDown: s.InitialDown, Checkpoint: wireCheckpoint(s.Checkpoint)}
+	out := jsonScenario{Name: s.Name, InitialDown: s.InitialDown, Checkpoint: wireCheckpoint(s.Checkpoint), Belief: wireBelief(s.Belief)}
 	for _, e := range s.Events {
 		je := jsonEvent{Tick: e.Tick, Kind: e.Kind.String(), Machine: e.Machine}
 		switch e.Kind {

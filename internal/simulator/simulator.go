@@ -113,6 +113,20 @@ type Config struct {
 	// no policy at all — leaves the engine byte-identical to one without
 	// the subsystem.
 	Checkpoint *scenario.CheckpointPolicy
+	// Belief, when enabled, splits what the mapper knows from what is
+	// true: the ground-truth PET keeps driving TrueExec sampling and
+	// completion clocks, while every pruning/mapping decision reads a
+	// belief view — frozen at the t=0 nominal profile, or re-estimated
+	// online from observed completions. Nil adopts the scenario's policy
+	// (Scenario.Belief) when one is declared; a zero-kind (oracle) policy
+	// — like no policy at all — schedules on the truth itself,
+	// byte-identical to the engine without the subsystem.
+	Belief *scenario.BeliefPolicy
+	// BeliefPrior, when non-nil, is the t=0 profile a frozen or online
+	// belief starts from instead of the ground-truth PET — a cold or
+	// deliberately wrong prior for convergence studies. Nil means the
+	// mapper's initial knowledge is the truth as of t=0 (Config.PET).
+	BeliefPrior *pet.Matrix
 }
 
 // ConfigFor returns the evaluation configuration the paper uses for the
@@ -207,6 +221,15 @@ type Simulator struct {
 	// disabled, the engine's historical behaviour).
 	ckpt *scenario.CheckpointPolicy
 
+	// view is the PET the mapper believes: cfg.PET itself under the oracle
+	// policy (making every decision path bit-identical to the engine
+	// before the split), a FrozenBelief or OnlineBelief otherwise. online
+	// is non-nil only under the online policy — the completion handler
+	// feeds it observations.
+	view   pet.View
+	belief *scenario.BeliefPolicy
+	online *pet.OnlineBelief
+
 	now              int64
 	missedSinceEvent int
 	droppedByPruner  int
@@ -216,6 +239,8 @@ type Simulator struct {
 	restored         int
 	checkpoints      int
 	mappingEvents    int
+	beliefRefreshes  int
+	beliefObserved   int
 }
 
 // New validates cfg and builds a simulator.
@@ -259,6 +284,12 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Checkpoint.Validate(); err != nil {
 		return nil, fmt.Errorf("simulator: %w", err)
 	}
+	if cfg.Belief == nil && cfg.Scenario != nil {
+		cfg.Belief = cfg.Scenario.Belief
+	}
+	if err := cfg.Belief.Validate(); err != nil {
+		return nil, fmt.Errorf("simulator: %w", err)
+	}
 	s := &Simulator{
 		cfg:       cfg,
 		execWidth: cfg.PET.NumMachines(),
@@ -268,6 +299,27 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.Checkpoint.Enabled() {
 		s.ckpt = cfg.Checkpoint
+	}
+	s.view = cfg.PET
+	if cfg.Belief.Enabled() {
+		s.belief = cfg.Belief
+		prior := cfg.BeliefPrior
+		if prior == nil {
+			prior = cfg.PET
+		} else if prior.NumTypes() != cfg.PET.NumTypes() || prior.NumMachines() != cfg.PET.NumMachines() {
+			return nil, fmt.Errorf("simulator: belief prior is %dx%d but the PET is %dx%d",
+				prior.NumTypes(), prior.NumMachines(), cfg.PET.NumTypes(), cfg.PET.NumMachines())
+		}
+		switch cfg.Belief.Kind {
+		case scenario.BeliefFrozen:
+			s.view = pet.NewFrozenBelief(prior)
+		case scenario.BeliefOnline:
+			s.online = pet.NewOnlineBelief(prior,
+				cfg.Belief.EffectiveRefresh(), cfg.Belief.EffectiveMinSamples(), cfg.Belief.EffectiveBins())
+			s.view = s.online
+		}
+	} else if cfg.BeliefPrior != nil {
+		return nil, fmt.Errorf("simulator: BeliefPrior set but the belief policy is the oracle (%s)", cfg.Belief)
 	}
 	cols := cfg.Machines
 	if cols == nil {
@@ -752,6 +804,22 @@ func (s *Simulator) handleCompletion(e eventq.Event) bool {
 		ex.Checkpoints += int(n)
 		s.checkpoints += int(n)
 	}
+	if s.online != nil && ex.Consumed == 0 && !(s.cfg.EvictAtDeadline && trueFinish > ex.Deadline) {
+		// Feed the online estimator genuine full executions only: an
+		// eviction censors the duration and a restored run's wall time
+		// covers just the remainder, so either would bias the belief low.
+		// Completed and missed both ran to the end; checkpoint-writing
+		// pauses are stripped so the sample is pure execution wall time.
+		s.beliefObserved++
+		if s.online.Observe(ex.Type, m.ID, s.ckptFreeWall(ex, m, s.now-ex.Start)) {
+			s.beliefRefreshes++
+			mean, _ := s.online.CellMean(ex.Type, m.ID)
+			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.BeliefRefreshed, TaskID: int(ex.Type), Machine: m.ID, Value: mean})
+			// The cell's distribution changed: every cached evaluation of
+			// this machine was computed under the old belief.
+			m.BumpVersion()
+		}
+	}
 	switch {
 	case s.cfg.EvictAtDeadline && trueFinish > ex.Deadline:
 		// The task was killed at its deadline (scenario C): it never fully
@@ -862,7 +930,7 @@ func (s *Simulator) mappingEvent() {
 	s.ctx = heuristics.Context{
 		Now:         s.now,
 		Machines:    s.machines,
-		PET:         s.cfg.PET,
+		PET:         s.view,
 		Mode:        s.cfg.Mode,
 		MaxImpulses: s.cfg.MaxImpulses,
 		Pruner:      s.pruner,
@@ -915,7 +983,7 @@ func (s *Simulator) pruneQueues() {
 		pos := 0
 		if ex := m.Executing(); ex != nil {
 			f := m.RunFactor()
-			comp := s.arena.ShiftConditioned(s.cfg.PET.ScaledPMF(ex.Type, m.ID, f), ex.Start-pmf.ScaleDur(ex.Consumed, f), s.now)
+			comp := s.arena.ShiftConditioned(s.view.ScaledPMF(ex.Type, m.ID, f), ex.Start-pmf.ScaleDur(ex.Consumed, f), s.now)
 			rob := comp.SuccessProb(ex.Deadline)
 			skew := comp.BoundedSkewness()
 			if s.pruner.ShouldDrop(rob, skew, pos, s.sufferage(ex.Type)) {
@@ -972,7 +1040,7 @@ func (s *Simulator) pruneQueues() {
 		for _, t := range s.taskScratch {
 			// Consumed > 0 (preempted or restored): the cached conditioned
 			// view, bit-identical to RemainingAfter on the scaled PMF.
-			exec := s.cfg.PET.RemainingEntry(t.Type, m.ID, m.Speed(), pmf.ScaleDur(t.Consumed, m.Speed())).PMF
+			exec := s.view.RemainingEntry(t.Type, m.ID, m.Speed(), t.Consumed).PMF
 			res := s.arena.ConvolveDrop(prev, exec, t.Deadline, s.cfg.Mode)
 			if s.pruner.ShouldDrop(res.Success, res.Free.BoundedSkewness(), pos, s.sufferage(t.Type)) {
 				m.RemovePending(t)
@@ -1190,6 +1258,26 @@ func (s *Simulator) Checkpoints() int { return s.checkpoints }
 // CheckpointPolicy returns the resolved checkpoint/restore policy (nil when
 // disabled).
 func (s *Simulator) CheckpointPolicy() *scenario.CheckpointPolicy { return s.ckpt }
+
+// View returns the PET the mapper schedules on: the ground-truth matrix
+// under the oracle belief, a frozen or online belief otherwise.
+func (s *Simulator) View() pet.View { return s.view }
+
+// BeliefPolicy returns the resolved belief policy (nil when scheduling on
+// the oracle).
+func (s *Simulator) BeliefPolicy() *scenario.BeliefPolicy { return s.belief }
+
+// Belief returns the online estimator, nil unless the belief policy is
+// online.
+func (s *Simulator) Belief() *pet.OnlineBelief { return s.online }
+
+// BeliefObservations returns how many completed full executions were fed
+// to the online estimator.
+func (s *Simulator) BeliefObservations() int { return s.beliefObserved }
+
+// BeliefRefreshes returns how many per-cell belief rebuilds those
+// observations triggered.
+func (s *Simulator) BeliefRefreshes() int { return s.beliefRefreshes }
 
 // MappingEvents returns how many mapping events fired.
 func (s *Simulator) MappingEvents() int { return s.mappingEvents }

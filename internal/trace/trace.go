@@ -50,6 +50,10 @@ const (
 	// with checkpointed progress surviving (Value carries the restored
 	// Consumed credit in nominal ticks).
 	TaskRestored
+	// BeliefRefreshed: the online PET belief rebuilt one (type, machine)
+	// cell's distribution from observed completions (Machine carries the
+	// cell's machine, TaskID the task type, Value the learned mean).
+	BeliefRefreshed
 )
 
 // String implements fmt.Stringer.
@@ -85,6 +89,8 @@ func (k Kind) String() string {
 		return "requeued"
 	case TaskRestored:
 		return "restored"
+	case BeliefRefreshed:
+		return "belief-refresh"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

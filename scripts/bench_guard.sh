@@ -24,6 +24,24 @@ pattern=$(printf '%s|' $names | sed 's/|$//')
 out=$(go test -run xxx -bench "^($pattern)\$" -benchtime 1x -benchmem .)
 echo "$out"
 
+# Structural coverage gate, before any metric parsing: every benchmark in
+# the baseline must have produced a result line in this run. A renamed or
+# deleted benchmark otherwise shrinks the guarded surface silently — the
+# bench run exits 0 on a pattern that matches nothing.
+missing=
+for name in $names; do
+	if ! echo "$out" | awk -v n="$name" '$1 ~ "^"n"(-[0-9]+)?$" { found = 1 } END { exit !found }'; then
+		missing="$missing $name"
+	fi
+done
+if [ -n "$missing" ]; then
+	for name in $missing; do
+		echo "bench-guard: $name is in $baseline_file but produced no result — renamed, deleted, or failed to run" >&2
+	done
+	echo "bench-guard: refresh the baseline with 'make bench' if the removal is intentional" >&2
+	exit 1
+fi
+
 status=0
 for name in $names; do
 	# Extract exactly this benchmark's entry (up to its metrics object's

@@ -162,6 +162,14 @@ type (
 	// execution progress, what each checkpoint costs, and whether
 	// checkpoints survive a whole-DC outage.
 	CheckpointPolicy = scenario.CheckpointPolicy
+	// BeliefPolicy declares what the mapper believes about execution
+	// times: the oracle truth, a view frozen at t=0, or an online
+	// re-estimate rebuilt from observed completions.
+	BeliefPolicy = scenario.BeliefPolicy
+	// PETView is the read surface every mapping decision goes through; a
+	// *PETMatrix is the oracle view, and belief policies substitute
+	// imperfect ones.
+	PETView = pet.View
 )
 
 // Failure policies for scenario machine failures.
@@ -188,6 +196,20 @@ const (
 	// dc-fail failover resumes from the last checkpoint minus the
 	// replication lag.
 	SurviveReplicated = scenario.SurviveReplicated
+)
+
+// Belief kinds (BeliefPolicy.Kind): what PET view drives the mapper.
+const (
+	// BeliefOracle schedules on the ground truth (the pre-split behavior,
+	// byte-identical to no policy at all).
+	BeliefOracle = scenario.BeliefOracle
+	// BeliefFrozen pins the mapper's view at the t=0 truth while
+	// degradation events move the real fleet underneath it.
+	BeliefFrozen = scenario.BeliefFrozen
+	// BeliefOnline rebuilds per-(type, machine) PMFs from observed
+	// completion times, at a configurable refresh cadence past a
+	// minimum-sample floor.
+	BeliefOnline = scenario.BeliefOnline
 )
 
 // Constructors and helpers re-exported from the internal packages.
