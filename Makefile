@@ -1,10 +1,10 @@
 GO                  ?= go
 DATE                := $(shell date +%Y%m%d)
-BENCH_BASELINE      ?= BENCH_20260728.json
+BENCH_BASELINE      ?= BENCH_20260808.json
 FUZZTIME            ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build vet test ci lint bench bench-smoke bench-guard golden golden-update fuzz-smoke race-stream
+.PHONY: build vet test ci lint bench bench-smoke bench-guard golden golden-update fuzz-smoke race-stream race-cluster
 
 build:
 	$(GO) build ./...
@@ -38,15 +38,22 @@ golden-update:
 bench-guard:
 	./scripts/bench_guard.sh $(BENCH_BASELINE)
 
+# Race check of the sharded cluster engine: the 1-DC cluster equivalence
+# tests and the parallel-stepping determinism matrix (sequential vs
+# per-DC-goroutine runs must produce byte-identical traces across
+# GOMAXPROCS settings) — the entire shared-state surface of the barrier
+# and wide-window drivers in internal/cluster/parallel.go.
+race-cluster:
+	$(GO) test -race -run 'ClusterEquivalence|ClusterParallelStepDeterminism|ParallelGateDrops' ./internal/cluster/
+
 # Race check of the parallel trial runner driven by pull-based streaming
 # sources (the shared-state surface across workers), including the sharded
-# cluster runner, plus the 1-DC cluster equivalence, checkpoint-disabled
-# equivalence, and oracle-belief equivalence tests under -race, and the
+# cluster runner via race-cluster, plus the checkpoint-disabled
+# equivalence and oracle-belief equivalence tests under -race, and the
 # mixed reader/writer hammer on the PET scaled/remaining entry caches
 # (shared across parallel trials).
-race-stream:
+race-stream: race-cluster
 	$(GO) test -race -run Streamed ./internal/experiments/
-	$(GO) test -race -run ClusterEquivalence ./internal/cluster/
 	$(GO) test -race -run 'CheckpointDisabledEquivalence|BeliefOracleEquivalence' ./internal/simulator/
 	$(GO) test -race -run ScaledAndRemainingCachesConcurrent ./internal/pet/
 
@@ -64,14 +71,20 @@ lint:
 
 # Quick throughput/allocation smoke: one full trial per heuristic class
 # (single-fleet and sharded) and the convolution-core allocation guards.
+# The cluster trials run several iterations so the reported numbers are
+# warm steady state, not first-run cache warm-up.
 bench-smoke:
-	$(GO) test -run xxx -bench "SingleTrial|ClusterTrial" -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench SingleTrial -benchtime 1x -benchmem .
+	$(GO) test -run xxx -bench ClusterTrial -benchtime 5x -benchmem .
 	$(GO) test -run xxx -bench Convolve -benchtime 100x -benchmem ./internal/pmf/
 
 # Full benchmark sweep, recorded as BENCH_<date>.json so the performance
-# trajectory of the repo is machine-readable PR over PR.
+# trajectory of the repo is machine-readable PR over PR. Three iterations
+# per benchmark amortize first-run warm-up (process-wide PET caches, pool
+# fills) out of the recorded allocs/op — bench_guard refuses baselines
+# recorded at iterations==1 for exactly that reason.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x -benchmem . | tee /tmp/bench_raw.txt
+	$(GO) test -run xxx -bench . -benchtime 3x -benchmem . | tee /tmp/bench_raw.txt
 	awk 'BEGIN { print "["; first = 1 } \
 	/^Benchmark/ { \
 		sub(/-[0-9]+$$/, "", $$1); \

@@ -221,6 +221,44 @@ func BenchmarkStreamTrialPAM1M(b *testing.B) {
 	b.ReportMetric(float64(numTasks)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/sec")
 }
 
+// benchClusterTrial measures one full 800-task trial sharded across four
+// datacenters. Workload generation and engine construction run outside the
+// timed region (StopTimer/StartTimer), so the recorded ns/op, B/op and
+// allocs/op are the engine's warm steady state — the committed baseline
+// gates those steady-state numbers, and bench_guard rejects one-iteration
+// baselines whose first-run warm-up would roughly double the alloc count.
+func benchClusterTrial(b *testing.B, route string, parallel bool) {
+	b.Helper()
+	matrix := SPECPET()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tasks := MustGenerateWorkload(WorkloadConfig{
+			NumTasks: 800, Rate: RateForLevel(Level34k), VarFrac: 0.10, Beta: 2.0,
+		}, matrix, NewRNG(int64(i)))
+		policy, err := NewDispatchPolicy(route)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := NewCluster(ClusterConfig{
+			DCs: 4, Policy: policy, Parallel: parallel,
+			Sim: MustConfigFor("PAM", matrix),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := WorkloadFromTasks(tasks)
+		b.StartTimer()
+		st, _, err := eng.RunSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Total != 800 {
+			b.Fatalf("cluster trial accounted %d of 800 tasks", st.Total)
+		}
+	}
+	b.ReportMetric(800*float64(b.N)/b.Elapsed().Seconds(), "arrivals/sec")
+}
+
 // BenchmarkClusterTrialPAM measures one full 800-task PAM trial sharded
 // across four datacenters behind the PET-aware dispatcher — the
 // single-fleet trial's cluster counterpart. The bench guard pins its
@@ -230,27 +268,33 @@ func BenchmarkStreamTrialPAM1M(b *testing.B) {
 // the single fleet, and the cluster-level aggregate observes exits into
 // bounded heaps.
 func BenchmarkClusterTrialPAM(b *testing.B) {
-	matrix := SPECPET()
-	for i := 0; i < b.N; i++ {
-		tasks := MustGenerateWorkload(WorkloadConfig{
-			NumTasks: 800, Rate: RateForLevel(Level34k), VarFrac: 0.10, Beta: 2.0,
-		}, matrix, NewRNG(int64(i)))
-		policy, err := NewDispatchPolicy("pet-aware")
-		if err != nil {
-			b.Fatal(err)
-		}
-		eng, err := NewCluster(ClusterConfig{DCs: 4, Policy: policy, Sim: MustConfigFor("PAM", matrix)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		st, _, err := eng.RunSource(WorkloadFromTasks(tasks))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if st.Total != 800 {
-			b.Fatalf("cluster trial accounted %d of 800 tasks", st.Total)
-		}
-	}
+	benchClusterTrial(b, "pet-aware", false)
+}
+
+// BenchmarkClusterTrialPAMParallel is BenchmarkClusterTrialPAM with the
+// per-DC stepping goroutines enabled (the -dcpar path). The PET-aware
+// dispatcher needs a barrier at every arrival, so the parallel win is
+// bounded by the sequential routing chain; the bench exists to pin the
+// parallel path's allocation profile and to make the (core-dependent)
+// speedup measurable next to the sequential number.
+func BenchmarkClusterTrialPAMParallel(b *testing.B) {
+	benchClusterTrial(b, "pet-aware", true)
+}
+
+// BenchmarkClusterTrialRR measures the same sharded trial behind the
+// state-free round-robin dispatcher — the sequential baseline for the
+// wide-window parallel variant below.
+func BenchmarkClusterTrialRR(b *testing.B) {
+	benchClusterTrial(b, "round-robin", false)
+}
+
+// BenchmarkClusterTrialRRParallel exercises the wide-window pipelined
+// driver: round-robin is state-free, so the engine routes whole
+// inter-cluster-event windows into the per-DC worker queues and barriers
+// only at cluster events. This is the variant where per-DC parallelism
+// approaches linear scaling on multi-core hosts.
+func BenchmarkClusterTrialRRParallel(b *testing.B) {
+	benchClusterTrial(b, "round-robin", true)
 }
 
 // BenchmarkSingleTrialMM is the baseline counterpart of

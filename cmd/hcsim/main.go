@@ -9,6 +9,7 @@
 //	hcsim -exp single -heuristic PAM -scenario churn.json
 //	hcsim -exp single -heuristic PAM -tasks 1000000 -stream
 //	hcsim -exp single -heuristic PAM -dcs 4 -route pet-aware
+//	hcsim -exp single -heuristic PAM -dcs 4 -route round-robin -dcpar
 //	hcsim -exp scen-fault           # fleet-churn fault-tolerance study
 //	hcsim -exp cluster-fault        # sharded whole-DC outage study
 //	hcsim -exp fig5 -csv fig5.csv   # also export CSV
@@ -105,9 +106,11 @@ func main() {
 		stream    = flag.Bool("stream", false, "pull arrivals from the constant-memory streaming source (per-type RNG splits; workloads differ from the replay schedule at equal seeds), enabling -tasks far past materializable scale")
 		dcs       = flag.Int("dcs", 1, "shard -exp single across this many datacenters (1 = the plain single-fleet engine)")
 		route     = flag.String("route", "round-robin", "dispatch policy for -dcs > 1: "+strings.Join(cluster.PolicyNames(), ", "))
+		dcpar     = flag.Bool("dcpar", false, "step the -dcs datacenters concurrently between cluster-clock barriers (byte-identical results; requires -dcs > 1)")
 		belief    = flag.String("belief", "", "mapper knowledge model for -exp single: oracle, frozen, or online (empty = the scenario's, else oracle)")
 	)
 	flag.Parse()
+	validateClusterFlags(*exp, *dcs, *route)
 
 	opts := experiments.Options{
 		Trials: *trials, Tasks: *tasks, Seed: *seed,
@@ -128,7 +131,7 @@ func main() {
 			fatal(err)
 		}
 		if *dcs > 1 {
-			if err := runCluster(opts, *heuristic, *level, sc, bp, *dcs, *route); err != nil {
+			if err := runCluster(opts, *heuristic, *level, sc, bp, *dcs, *route, *dcpar); err != nil {
 				fatal(err)
 			}
 			return
@@ -171,6 +174,55 @@ func main() {
 			}
 			fmt.Printf("CSV written to %s\n", *csvPath)
 		}
+	}
+}
+
+// validateClusterFlags rejects cluster-flag combinations that would
+// otherwise be silently ignored: -dcs/-route/-dcpar outside -exp single,
+// a stray -route or -dcpar next to a single-fleet run, a -dcs below 1,
+// and an unknown -route name. Each failure explains what the flag needs
+// and lists the valid values, then exits 1 — the same contract as an
+// unknown -exp name, instead of a run that quietly does something else.
+func validateClusterFlags(exp string, dcs int, route string) {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var stray []string
+	for _, n := range []string{"dcs", "route", "dcpar"} {
+		if set[n] {
+			stray = append(stray, "-"+n)
+		}
+	}
+	if exp != "single" && len(stray) > 0 {
+		fmt.Fprintf(os.Stderr, "hcsim: %s: cluster flags apply only to -exp single (got -exp %s)\n", strings.Join(stray, ", "), exp)
+		fmt.Fprintf(os.Stderr, "  hcsim -exp single -dcs 4 -route {%s} [-dcpar]\n", strings.Join(cluster.PolicyNames(), "|"))
+		os.Exit(1)
+	}
+	if exp != "single" {
+		return
+	}
+	if set["dcs"] && dcs < 1 {
+		fmt.Fprintf(os.Stderr, "hcsim: -dcs %d: a cluster needs at least one datacenter (1 = the plain single-fleet engine)\n", dcs)
+		os.Exit(1)
+	}
+	if dcs == 1 {
+		stray = stray[:0]
+		for _, n := range []string{"route", "dcpar"} {
+			if set[n] {
+				stray = append(stray, "-"+n)
+			}
+		}
+		if len(stray) > 0 {
+			fmt.Fprintf(os.Stderr, "hcsim: %s: cluster flags require -dcs > 1; the single-fleet engine has no dispatcher\n", strings.Join(stray, ", "))
+			os.Exit(1)
+		}
+		return
+	}
+	if _, err := cluster.NewPolicy(route); err != nil {
+		fmt.Fprintf(os.Stderr, "hcsim: %v\nregistered dispatch policies:\n", err)
+		for _, n := range cluster.PolicyNames() {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
+		os.Exit(1)
 	}
 }
 
@@ -275,7 +327,7 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 // runCluster executes one sharded trial — one workload stream fanned out
 // across -dcs datacenters through the chosen dispatch policy — and prints
 // the cluster aggregate plus a per-datacenter breakdown.
-func runCluster(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy, dcs int, route string) error {
+func runCluster(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy, dcs int, route string, dcpar bool) error {
 	matrix := experiments.SPECPET()
 	simCfg, err := simulator.ConfigFor(name, matrix)
 	if err != nil {
@@ -287,7 +339,7 @@ func runCluster(opts experiments.Options, name string, level float64, sc *scenar
 	if err != nil {
 		return err
 	}
-	eng, err := cluster.New(cluster.Config{DCs: dcs, Policy: policy, Sim: simCfg})
+	eng, err := cluster.New(cluster.Config{DCs: dcs, Policy: policy, Parallel: dcpar, Sim: simCfg})
 	if err != nil {
 		return err
 	}

@@ -52,6 +52,13 @@ type Config struct {
 	// RecordDispatch retains the dispatcher's routing log (Dispatches) for
 	// auditing and the golden cluster traces.
 	RecordDispatch bool
+	// Parallel steps the datacenters concurrently between cluster-clock
+	// barriers, one goroutine per DC, instead of interleaving them on the
+	// caller's goroutine. Traces, dispatch log, and statistics are
+	// byte-identical either way (the determinism tests pin this); the knob
+	// only trades goroutines for wall-clock. See parallel.go for the
+	// barrier/merge semantics.
+	Parallel bool
 }
 
 // DC is one datacenter: a fleet partition running the single-DC simulator
@@ -151,8 +158,12 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("cluster: missing PET matrix")
 	}
 	nm := cfg.Sim.PET.NumMachines()
-	if cfg.DCs < 1 || cfg.DCs > nm {
+	if cfg.DCs < 1 {
 		return nil, fmt.Errorf("cluster: %d datacenters for %d machines (need 1..%d)", cfg.DCs, nm, nm)
+	}
+	if cfg.DCs > nm {
+		return nil, fmt.Errorf("cluster: %d datacenters for %d machines leaves %d empty (contiguous split %s; need 1..%d)",
+			cfg.DCs, nm, cfg.DCs-nm, partitionSplit(nm, cfg.DCs), nm)
 	}
 	if cfg.Sim.Machines != nil {
 		return nil, fmt.Errorf("cluster: the simulator template must leave Machines nil; the engine partitions the fleet")
@@ -189,7 +200,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, matrix: cfg.Sim.PET, policy: policy, clusterEvents: clusterEvents}
 	for d := 0; d < cfg.DCs; d++ {
-		lo, hi := d*nm/cfg.DCs, (d+1)*nm/cfg.DCs
+		lo, hi := blockBounds(d, nm, cfg.DCs)
 		cols := make([]int, 0, hi-lo)
 		for mi := lo; mi < hi; mi++ {
 			cols = append(cols, mi)
@@ -211,11 +222,38 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// blockBounds returns the half-open global machine range [lo, hi) that
+// datacenter d owns under the contiguous partition of nm machines into
+// nDCs blocks. When nDCs does not divide nm the remainder spreads
+// deterministically: block sizes differ by at most one, with the nm mod
+// nDCs larger blocks spread evenly across the index range (8 machines
+// into 3 DCs → 2+3+3; 7 into 5 → 1+1+2+1+2). Both New and dcOfMachine
+// derive the partition from this single helper, so ownership and
+// construction cannot disagree.
+func blockBounds(d, nm, nDCs int) (lo, hi int) {
+	return d * nm / nDCs, (d + 1) * nm / nDCs
+}
+
+// partitionSplit renders the contiguous partition's block sizes ("2+3+3")
+// for error messages, so a rejected configuration reports the split it
+// would have produced.
+func partitionSplit(nm, nDCs int) string {
+	var b strings.Builder
+	for d := 0; d < nDCs; d++ {
+		lo, hi := blockBounds(d, nm, nDCs)
+		if d > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%d", hi-lo)
+	}
+	return b.String()
+}
+
 // dcOfMachine returns the datacenter owning global machine index mi under
 // the contiguous partition of nm machines into nDCs blocks.
 func dcOfMachine(mi, nm, nDCs int) int {
 	for d := 0; d < nDCs; d++ {
-		if mi < (d+1)*nm/nDCs {
+		if _, hi := blockBounds(d, nm, nDCs); mi < hi {
 			return d
 		}
 	}
@@ -277,34 +315,12 @@ func (e *Engine) RunSource(src workload.Source) (metrics.TrialStats, []metrics.T
 		d.sim.Begin(e.collector)
 		d.sim.SetRecycler(e.recycler)
 	}
-	next, hasNext, err := e.pull(src)
-	if err != nil {
-		return metrics.TrialStats{}, nil, err
-	}
-loop:
-	for {
-		tick, dc, ok := e.nextEvent()
-		switch {
-		case hasNext && (!ok || next.Arrival <= tick):
-			// Arrivals win ties, exactly as in the single-fleet engine.
-			if err := e.dispatch(next); err != nil {
-				return metrics.TrialStats{}, nil, err
-			}
-			if next, hasNext, err = e.pull(src); err != nil {
-				return metrics.TrialStats{}, nil, err
-			}
-		case ok:
-			e.now = tick
-			if dc < 0 {
-				if err := e.stepClusterEvent(); err != nil {
-					return metrics.TrialStats{}, nil, err
-				}
-			} else {
-				e.dcs[dc].sim.StepEvent()
-			}
-		default:
-			break loop
+	if e.cfg.Parallel && len(e.dcs) > 1 {
+		if err := e.runParallel(src); err != nil {
+			return metrics.TrialStats{}, nil, err
 		}
+	} else if err := e.runSequential(src); err != nil {
+		return metrics.TrialStats{}, nil, err
 	}
 	perDC := make([]metrics.TrialStats, len(e.dcs))
 	total := 0.0
@@ -313,6 +329,39 @@ loop:
 		total += perDC[i].TotalCost
 	}
 	return e.collector.Finalize(total), perDC, nil
+}
+
+// runSequential interleaves the datacenters on the caller's goroutine —
+// the reference event order every other driver must reproduce.
+func (e *Engine) runSequential(src workload.Source) error {
+	next, hasNext, err := e.pull(src)
+	if err != nil {
+		return err
+	}
+	for {
+		tick, dc, ok := e.nextEvent()
+		switch {
+		case hasNext && (!ok || next.Arrival <= tick):
+			// Arrivals win ties, exactly as in the single-fleet engine.
+			if err := e.dispatch(next); err != nil {
+				return err
+			}
+			if next, hasNext, err = e.pull(src); err != nil {
+				return err
+			}
+		case ok:
+			e.now = tick
+			if dc < 0 {
+				if err := e.stepClusterEvent(); err != nil {
+					return err
+				}
+			} else {
+				e.dcs[dc].sim.StepEvent()
+			}
+		default:
+			return nil
+		}
+	}
 }
 
 // pull fetches and order-checks the stream's next task (per-task

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"taskprune/internal/pet"
@@ -111,6 +112,134 @@ func TestPartitionCoversFleet(t *testing.T) {
 			t.Fatalf("%d DCs: partition covers %d of %d machines", dcs, len(seen), matrix.NumMachines())
 		}
 	}
+}
+
+// primePET builds a 3×7 matrix: a prime machine count, so no DC count in
+// 2..6 divides the fleet and every partition exercises the remainder path.
+func primePET(t testing.TB) *pet.Matrix {
+	t.Helper()
+	cfg := pet.BuildConfig{Samples: 400, Bins: 16, MaxImpulses: 16, ShapeLo: 8, ShapeHi: 12}
+	means := [][]float64{
+		{10, 40, 20, 15, 30, 25, 12},
+		{40, 10, 30, 25, 15, 20, 35},
+		{20, 30, 10, 35, 25, 15, 18},
+	}
+	m, err := pet.Build(means, cfg, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPartitionPrimeFleet pins the contiguous-partition contract on a
+// 7-machine fleet, where no DC count >1 divides the machine count: blocks
+// are contiguous and adjacent, cover the fleet exactly once, differ in
+// size by at most one with exactly nm mod nDCs larger blocks, match
+// blockBounds exactly, and dcOfMachine agrees with the ownership New
+// actually built.
+func TestPartitionPrimeFleet(t *testing.T) {
+	matrix := primePET(t)
+	nm := matrix.NumMachines()
+	for dcs := 1; dcs <= nm; dcs++ {
+		eng, err := New(clusterConfig(t, "MM", matrix, dcs, nil, nil))
+		if err != nil {
+			t.Fatalf("%d DCs: %v", dcs, err)
+		}
+		next := 0 // contiguity cursor: each block starts where the last ended
+		larger := 0
+		for _, d := range eng.DCList() {
+			cols := d.Machines()
+			if len(cols) == 0 {
+				t.Fatalf("%d DCs: datacenter %d owns no machines", dcs, d.Index())
+			}
+			lo, hi := blockBounds(d.Index(), nm, dcs)
+			if cols[0] != lo || len(cols) != hi-lo {
+				t.Fatalf("%d DCs: datacenter %d owns [%d..%d], blockBounds says [%d..%d)", dcs, d.Index(), cols[0], cols[len(cols)-1], lo, hi)
+			}
+			for _, mi := range cols {
+				if mi != next {
+					t.Fatalf("%d DCs: datacenter %d owns machine %d, want contiguous %d", dcs, d.Index(), mi, next)
+				}
+				if got := dcOfMachine(mi, nm, dcs); got != d.Index() {
+					t.Fatalf("%d DCs: dcOfMachine(%d) = %d, but datacenter %d owns it", dcs, mi, got, d.Index())
+				}
+				next++
+			}
+			switch len(cols) {
+			case nm / dcs:
+			case nm/dcs + 1:
+				larger++
+			default:
+				t.Fatalf("%d DCs: datacenter %d owns %d machines; blocks must hold %d or %d", dcs, d.Index(), len(cols), nm/dcs, nm/dcs+1)
+			}
+		}
+		if next != nm {
+			t.Fatalf("%d DCs: partition covers %d of %d machines", dcs, next, nm)
+		}
+		if larger != nm%dcs {
+			t.Fatalf("%d DCs: %d oversized blocks, want nm mod dcs = %d", dcs, larger, nm%dcs)
+		}
+	}
+}
+
+// TestPartitionErrorReportsSplit pins the over-partitioned error message:
+// it must report how many datacenters end up empty and the split that
+// produced them, so the failure is actionable without reading the code.
+func TestPartitionErrorReportsSplit(t *testing.T) {
+	matrix := primePET(t)
+	cfg := clusterConfig(t, "MM", matrix, 9, nil, nil)
+	_, err := New(cfg)
+	if err == nil {
+		t.Fatal("9 datacenters for 7 machines accepted")
+	}
+	for _, want := range []string{"leaves 2 empty", "0+1+1+1+0+1+1+1+1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestPETAwareUnevenBlocks runs the PET-aware dispatcher over the 2+2+3
+// split of the prime fleet: scoring walks each DC's actual machine list,
+// so the uneven last block must both receive traffic and leave the trial
+// accounting exact.
+func TestPETAwareUnevenBlocks(t *testing.T) {
+	matrix := primePET(t)
+	cfg := clusterConfig(t, "PAM", matrix, 3, NewPolicyOrDie(t, "pet-aware"), nil)
+	cfg.RecordDispatch = true
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.DCList()[2].Machines()); got != 3 {
+		t.Fatalf("last datacenter owns %d machines, want the 3-machine remainder block", got)
+	}
+	tasks := clusterWorkload(t, matrix, 300, 5)
+	st, _, err := eng.RunSource(workload.FromTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 300 {
+		t.Fatalf("trial accounted %d of 300 tasks", st.Total)
+	}
+	routed := make(map[int]int)
+	for _, d := range eng.Dispatches() {
+		routed[d.DC]++
+	}
+	for dc := 0; dc < 3; dc++ {
+		if routed[dc] == 0 {
+			t.Errorf("pet-aware routed nothing to datacenter %d (split 2+2+3); routing map: %v", dc, routed)
+		}
+	}
+}
+
+func NewPolicyOrDie(t testing.TB, name string) Policy {
+	t.Helper()
+	p, err := NewPolicy(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func TestRoundRobinSkipsDeadDCs(t *testing.T) {

@@ -32,6 +32,14 @@ var updateGolden = flag.Bool("update", false, "rewrite golden cluster trace file
 // dispatch log, and each datacenter's decision trace.
 func clusterTrial(t testing.TB, matrix *pet.Matrix, heuristic, route string, sc *scenario.Scenario) ([]byte, []Dispatch, metrics.TrialStats, []metrics.TrialStats) {
 	t.Helper()
+	return clusterTrialMode(t, matrix, heuristic, route, sc, false)
+}
+
+// clusterTrialMode is clusterTrial with the Parallel knob exposed: the
+// parallel determinism tests render both drivers through the same code
+// and demand byte equality.
+func clusterTrialMode(t testing.TB, matrix *pet.Matrix, heuristic, route string, sc *scenario.Scenario, parallel bool) ([]byte, []Dispatch, metrics.TrialStats, []metrics.TrialStats) {
+	t.Helper()
 	const dcs = 3
 	policy, err := NewPolicy(route)
 	if err != nil {
@@ -39,6 +47,7 @@ func clusterTrial(t testing.TB, matrix *pet.Matrix, heuristic, route string, sc 
 	}
 	cfg := clusterConfig(t, heuristic, matrix, dcs, policy, sc)
 	cfg.RecordDispatch = true
+	cfg.Parallel = parallel
 	cfg.Traces = make([]*trace.Recorder, dcs)
 	for d := range cfg.Traces {
 		cfg.Traces[d] = trace.NewRecorder()
@@ -53,8 +62,12 @@ func clusterTrial(t testing.TB, matrix *pet.Matrix, heuristic, route string, sc 
 		t.Fatal(err)
 	}
 
+	scName := "static"
+	if sc != nil {
+		scName = sc.Name
+	}
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "# cluster %s route=%s dcs=%d scenario=%s\n", heuristic, route, dcs, sc.Name)
+	fmt.Fprintf(&buf, "# cluster %s route=%s dcs=%d scenario=%s\n", heuristic, route, dcs, scName)
 	fmt.Fprintln(&buf, "# stats scope,total,completed,missed,dropped,approx,robustness_pct")
 	writeStats := func(scope string, s metrics.TrialStats) {
 		fmt.Fprintf(&buf, "%s,%d,%d,%d,%d,%d,%.6f\n", scope, s.Total, s.Completed, s.Missed, s.Dropped, s.Approx, s.RobustnessPct)

@@ -1,0 +1,292 @@
+// Parallel per-DC stepping. The engine's event order — arrivals first,
+// then cluster-scoped events, then per-DC events by index — already makes
+// every dispatch decision a synchronization point and everything between
+// two sync points embarrassingly parallel: per-DC internal events touch
+// only their datacenter's private simulator core, the shared cluster
+// collector is interleaving-invariant (metrics.Stream.Share), and the
+// task pool is a sync.Pool. The drivers below exploit exactly that
+// structure, in two flavors keyed on what the routing policy reads:
+//
+//   - Barrier-per-arrival (any policy): the trial is cut at every sync
+//     point S (next arrival, or next dc-fail/dc-recover). One phase hands
+//     each datacenter its work up to S — the arrival admitted at the
+//     previous sync point, overlapped with every other datacenter's
+//     internal events below S — and the engine waits for all of them
+//     before routing at S. Stateful policies (least-queued, pet-aware)
+//     therefore see bit-for-bit the queue state the sequential interleave
+//     would have shown them.
+//
+//   - Wide-window pipelining (state-free policies, StateFreeRouter): when
+//     Pick provably reads nothing but the policy's own cursor and the
+//     alive set, the engine routes the whole window up to the next
+//     cluster-scoped event ahead of time, streaming arrivals into bounded
+//     per-DC channels while the workers admit and step concurrently;
+//     barriers remain only at dc-fail/dc-recover and at end of stream.
+//
+// Both drivers replay byte-identically against the sequential interleave
+// (traces, dispatch log, statistics) — TestClusterParallelStepDeterminism
+// pins this across GOMAXPROCS settings under the race detector.
+package cluster
+
+import (
+	"math"
+	"sync"
+
+	"taskprune/internal/task"
+	"taskprune/internal/workload"
+)
+
+// StateFreeRouter marks a Policy whose Pick depends only on the policy's
+// own internal state and each datacenter's Alive flag — never on queue
+// contents, machine state, or anything else a concurrently stepping
+// simulator mutates. The engine pipelines such policies through the
+// wide-window driver; a policy that reads more than it declares here
+// would race and lose replay determinism, so implement StateFree with
+// care (RoundRobin: a cursor over the alive set, nothing else).
+type StateFreeRouter interface {
+	Policy
+	StateFree() bool
+}
+
+// StateFree implements StateFreeRouter: a round-robin pick reads the
+// cursor and the alive flags, both owned by the engine goroutine.
+func (p *RoundRobin) StateFree() bool { return true }
+
+// wideWindowBuffer bounds each datacenter's in-flight arrival channel in
+// the wide-window driver; a full channel backpressures the dispatcher.
+const wideWindowBuffer = 128
+
+// dcWork is one unit handed to a datacenter worker: optionally admit one
+// task at its arrival tick (internal events strictly before that tick are
+// processed first), then burn internal events strictly below horizon.
+// Events at exactly horizon stay pending — the next sync point wins ties.
+type dcWork struct {
+	admit   *task.Task
+	horizon int64
+	ack     bool // reply on done once handled (a barrier edge)
+}
+
+// dcWorker owns one datacenter's goroutine for the lifetime of a parallel
+// run. err holds the first Admit failure; the worker keeps draining its
+// channel afterwards (acks included) so the engine never blocks, and the
+// engine reads err only after receiving an ack — the channel receive is
+// the happens-before edge.
+type dcWorker struct {
+	dc   *DC
+	work chan dcWork
+	done chan struct{}
+	err  error
+}
+
+func (w *dcWorker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for m := range w.work {
+		if w.err == nil && m.admit != nil {
+			w.dc.sim.StepUntil(m.admit.Arrival)
+			w.err = w.dc.sim.Admit(m.admit)
+		}
+		if w.err == nil {
+			w.dc.sim.StepUntil(m.horizon)
+		}
+		if m.ack {
+			w.done <- struct{}{}
+		}
+	}
+}
+
+// parallelRunner drives one parallel trial: the engine plus its worker
+// set and the per-phase scratch.
+type parallelRunner struct {
+	e       *Engine
+	workers []*dcWorker
+	sent    []int // scratch: worker indices participating in the phase
+}
+
+// runParallel steps the datacenters concurrently. It returns only after
+// every worker goroutine has exited, so the caller may touch the
+// simulators (Finalize) freely afterwards.
+func (e *Engine) runParallel(src workload.Source) error {
+	e.collector.Share()
+	r := &parallelRunner{e: e, sent: make([]int, 0, len(e.dcs))}
+	var wg sync.WaitGroup
+	for _, d := range e.dcs {
+		w := &dcWorker{dc: d, work: make(chan dcWork, wideWindowBuffer), done: make(chan struct{}, 1)}
+		r.workers = append(r.workers, w)
+		wg.Add(1)
+		go w.loop(&wg)
+	}
+	defer func() {
+		for _, w := range r.workers {
+			close(w.work)
+		}
+		wg.Wait()
+	}()
+	if sf, ok := e.policy.(StateFreeRouter); ok && sf.StateFree() {
+		return r.runWide(src)
+	}
+	return r.runBarrier(src)
+}
+
+// nextClusterTick peeks the engine's own dc-fail/dc-recover schedule.
+func (e *Engine) nextClusterTick() (int64, bool) {
+	if e.evPos < len(e.clusterEvents) {
+		return e.clusterEvents[e.evPos].Tick, true
+	}
+	return 0, false
+}
+
+// runBarrier is the any-policy driver: a phase per sync point, the
+// pending admit overlapped with the other datacenters' stepping.
+//
+// Loop invariant: entering an iteration, every datacenter has processed
+// exactly its internal events with tick strictly below the previous sync
+// point, and the arrival routed there (if any) is still pending — so the
+// phase below, whose horizon is the next sync point, first lands that
+// admit at its own tick and then steps everyone forward, reproducing the
+// sequential order: admit at S, then internal events in [S, S'), then the
+// routing decision at S'.
+func (r *parallelRunner) runBarrier(src workload.Source) error {
+	e := r.e
+	next, hasNext, err := e.pull(src)
+	if err != nil {
+		return err
+	}
+	var pending *task.Task
+	pendingDC := -1
+	for {
+		ct, hasCluster := e.nextClusterTick()
+		arrivalSync := hasNext && (!hasCluster || next.Arrival <= ct)
+		horizon := int64(math.MaxInt64)
+		switch {
+		case arrivalSync:
+			horizon = next.Arrival
+		case hasCluster:
+			horizon = ct
+		}
+		if err := r.phase(horizon, pendingDC, pending); err != nil {
+			return err
+		}
+		pending, pendingDC = nil, -1
+		switch {
+		case arrivalSync:
+			t := next
+			e.now = t.Arrival
+			if !e.anyAlive() {
+				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: -1})
+				e.dropAtGate(t, t.Arrival)
+			} else {
+				d, perr := e.pick(t.Arrival, t)
+				if perr != nil {
+					return perr
+				}
+				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: d})
+				pending, pendingDC = t, d
+			}
+			if next, hasNext, err = e.pull(src); err != nil {
+				return err
+			}
+		case hasCluster:
+			e.now = ct
+			if err := e.stepClusterEvent(); err != nil {
+				return err
+			}
+		default:
+			return nil // the MaxInt64 phase above drained every queue
+		}
+	}
+}
+
+// phase fans one sync window out to the workers and waits for all of
+// them: datacenter admitDC admits the pending arrival (nil for a
+// cluster-event or drain phase), every datacenter with internal events
+// below horizon steps them, idle datacenters are skipped entirely.
+// Peeking their queues from here is safe — workers are quiescent between
+// phases.
+func (r *parallelRunner) phase(horizon int64, admitDC int, admit *task.Task) error {
+	r.sent = r.sent[:0]
+	for i, w := range r.workers {
+		m := dcWork{horizon: horizon, ack: true}
+		if i == admitDC {
+			m.admit = admit
+		} else if t, ok := r.e.dcs[i].sim.NextEventTick(); !ok || t >= horizon {
+			continue
+		}
+		w.work <- m
+		r.sent = append(r.sent, i)
+	}
+	var firstErr error
+	for _, i := range r.sent {
+		<-r.workers[i].done
+		if err := r.workers[i].err; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// runWide is the state-free driver: the dispatcher routes every arrival
+// up to the next cluster-scoped event in one go — the policy's picks
+// cannot depend on how far the workers have gotten — and each datacenter
+// pipelines its admits and internal events concurrently with the
+// dispatch loop. Gate drops fold into the shared collector from here
+// while workers observe exits from their side; Share makes that safe and
+// order-invariant.
+func (r *parallelRunner) runWide(src workload.Source) error {
+	e := r.e
+	next, hasNext, err := e.pull(src)
+	if err != nil {
+		return err
+	}
+	for {
+		ct, hasCluster := e.nextClusterTick()
+		for hasNext && (!hasCluster || next.Arrival <= ct) {
+			t := next
+			e.now = t.Arrival
+			if !e.anyAlive() {
+				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: -1})
+				e.dropAtGate(t, t.Arrival)
+			} else {
+				d, perr := e.pick(t.Arrival, t)
+				if perr != nil {
+					return perr
+				}
+				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: d})
+				r.workers[d].work <- dcWork{admit: t, horizon: t.Arrival}
+			}
+			if next, hasNext, err = e.pull(src); err != nil {
+				return err
+			}
+		}
+		horizon := int64(math.MaxInt64)
+		if hasCluster {
+			horizon = ct
+		}
+		if err := r.barrierAll(horizon); err != nil {
+			return err
+		}
+		if !hasCluster {
+			return nil
+		}
+		e.now = ct
+		if err := e.stepClusterEvent(); err != nil {
+			return err
+		}
+	}
+}
+
+// barrierAll quiesces every datacenter at horizon: queued admits land,
+// internal events below horizon run, and the engine regains exclusive
+// access to all simulator state (failover draining, finalization).
+func (r *parallelRunner) barrierAll(horizon int64) error {
+	for _, w := range r.workers {
+		w.work <- dcWork{horizon: horizon, ack: true}
+	}
+	var firstErr error
+	for _, w := range r.workers {
+		<-w.done
+		if err := w.err; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"taskprune/internal/stats"
 	"taskprune/internal/task"
@@ -110,6 +111,13 @@ type Stream struct {
 
 	head boundedHeap // trim smallest exits
 	tail boundedHeap // trim largest exits
+
+	// mu, when set via Share, serializes Observe so several goroutines can
+	// feed one stream. Everything Observe folds in is order-invariant —
+	// integer tallies plus two bounded extreme-record heaps whose kept sets
+	// depend only on the strict (finish, ID) total order — so Finalize
+	// returns the same TrialStats for any interleaving of the same exits.
+	mu *sync.Mutex
 }
 
 // NewStream returns a streaming collector for nTypes task types and the
@@ -128,10 +136,33 @@ func NewStream(nTypes, trim int) *Stream {
 	}
 }
 
+// Share arms the stream for concurrent observation: after Share, Observe
+// may be called from several goroutines (the parallel cluster engine's
+// per-DC workers all exit into one cluster aggregate). The final statistics
+// are interleaving-independent — see the mu field note. Total and Finalize
+// stay single-goroutine: call them only after every observer has quiesced.
+func (s *Stream) Share() *Stream {
+	if s.mu == nil {
+		s.mu = new(sync.Mutex)
+	}
+	return s
+}
+
 // Observe records one task exit. Tasks must be observed in the order they
 // leave the system (the same order Collect receives them); the task may be
-// recycled immediately after Observe returns.
+// recycled immediately after Observe returns. A shared stream (Share) drops
+// the ordering requirement: its statistics do not depend on it.
 func (s *Stream) Observe(t *task.Task) {
+	if s.mu != nil {
+		s.mu.Lock()
+		s.observe(t)
+		s.mu.Unlock()
+		return
+	}
+	s.observe(t)
+}
+
+func (s *Stream) observe(t *task.Task) {
 	s.total++
 	s.perType[t.Type]++
 	s.defers += t.Defers

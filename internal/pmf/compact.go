@@ -43,9 +43,17 @@ func (a *Arena) Compact(p *PMF, maxImpulses int) *PMF {
 		lo := g * n / groups
 		hi := (g + 1) * n / groups
 		var mass, center float64
-		for i := lo; i < hi; i++ {
-			mass += p.probs[i]
-			center += p.probs[i] * float64(p.start+int64(i))
+		// The group scan dominates compaction cost: sub-slicing drops the
+		// per-element bounds checks, the incremental float tick is exact
+		// (ticks stay integral, far below 2^53), and the scan is branch-free —
+		// zero slots contribute +0.0 identity terms to non-negative
+		// accumulators, so the sums match a zero-skipping scan bit for bit
+		// while the loop pipelines without mispredictions.
+		x := float64(p.start + int64(lo))
+		for _, v := range p.probs[lo:hi] {
+			mass += v
+			center += v * x
+			x++
 		}
 		if mass == 0 {
 			continue

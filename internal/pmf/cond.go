@@ -104,15 +104,23 @@ func CondMeanShifted(p *PMF, dt, t int64) float64 {
 	}
 	// Mean() divides by the recomputed mass of the (renormalized) values;
 	// replicate that by accumulating the renormalized terms themselves.
-	norm := m != 1 && t > start
+	// The per-element normalization test is loop-invariant, so each case
+	// gets its own branch-free loop with an exact incremental float tick.
 	var m2, s float64
-	for i, v := range p.probs[lo:] {
-		q := v
-		if norm {
-			q = v / m
+	x := float64(start + lo)
+	if m != 1 && t > start {
+		for _, v := range p.probs[lo:] {
+			q := v / m
+			m2 += q
+			s += q * x
+			x++
 		}
-		m2 += q
-		s += q * float64(start+lo+int64(i))
+	} else {
+		for _, v := range p.probs[lo:] {
+			m2 += v
+			s += v * x
+			x++
+		}
 	}
 	return s / m2
 }

@@ -74,18 +74,34 @@ func convolveCore(out []float64, prev, exec *PMF) {
 
 // accumRow adds a·exec into row, walking only exec's non-zero impulses
 // when the sparse index is available. Skipping exact zeros (and scaling by
-// a) is bit-identical to the dense accumulation it replaces.
+// a) is bit-identical to the dense accumulation it replaces. This is the
+// innermost convolution kernel, so both paths are shaped for the compiler:
+// the row is re-sliced to exec's width up front (one bounds check instead
+// of one per element) and the sparse walk is unrolled four wide — each
+// row slot is its own accumulator, so the unroll reorders nothing.
 func accumRow(row []float64, a float64, exec *PMF) {
-	if exec.nz != nil {
-		for _, j := range exec.nz {
-			row[j] += a * exec.probs[j]
+	probs := exec.probs
+	row = row[:len(probs)]
+	if nz := exec.nz; nz != nil {
+		i := 0
+		for ; i+4 <= len(nz); i += 4 {
+			j0, j1, j2, j3 := nz[i], nz[i+1], nz[i+2], nz[i+3]
+			row[j0] += a * probs[j0]
+			row[j1] += a * probs[j1]
+			row[j2] += a * probs[j2]
+			row[j3] += a * probs[j3]
+		}
+		for _, j := range nz[i:] {
+			row[j] += a * probs[j]
 		}
 		return
 	}
-	for j, b := range exec.probs {
-		if b != 0 {
-			row[j] += a * b
-		}
+	// Dense: branch-free. Adding a·0 = +0.0 is the bitwise identity on the
+	// non-negative masses a row can hold (they start at +0.0 and only ever
+	// gain non-negative products), so dropping the zero test changes no
+	// result while letting the loop pipeline without mispredictions.
+	for j, b := range probs {
+		row[j] += a * b
 	}
 }
 
@@ -165,28 +181,39 @@ func dropBounds(prev, exec *PMF, deadline int64) (outLo, outHi int64) {
 // probability. It is the single implementation behind ConvolveDrop,
 // ConvolveDropInto, and the arena variant.
 func convolveDropCore(buf []float64, outLo int64, prev, exec *PMF, deadline int64, mode DropMode) float64 {
+	// Predecessor slots split at the deadline: indices below cut start the
+	// task (they convolve with exec), indices at or above carry through
+	// untouched. prev's support — and its nz index — is ascending, so one
+	// boundary split replaces the per-element deadline branch of both loops
+	// below while visiting the exact same elements in the exact same order.
+	cut := deadline - prev.start
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > int64(len(prev.probs)) {
+		cut = int64(len(prev.probs))
+	}
+	nz := prev.nz
+	nzCut := 0
+	for nzCut < len(nz) && int64(nz[nzCut]) < cut {
+		nzCut++
+	}
+
 	// Execution part (Eq. 3's helper f): convolve only predecessor
 	// completions strictly before the deadline.
-	if prev.nz != nil {
-		for _, off := range prev.nz {
-			st := prev.start + int64(off) // predecessor finishes / task starts
-			if st >= deadline {
-				continue // the task is dropped before starting
-			}
-			base := st + exec.start - outLo
-			accumRow(buf[base:base+int64(len(exec.probs))], prev.probs[off], exec)
+	ew := int64(len(exec.probs))
+	if nz != nil {
+		for _, off := range nz[:nzCut] {
+			base := prev.start + int64(off) + exec.start - outLo
+			accumRow(buf[base:base+ew], prev.probs[off], exec)
 		}
 	} else {
-		for i, a := range prev.probs {
+		for i, a := range prev.probs[:cut] {
 			if a == 0 {
 				continue
 			}
-			st := prev.start + int64(i)
-			if st >= deadline {
-				continue
-			}
-			base := st + exec.start - outLo
-			accumRow(buf[base:base+int64(len(exec.probs))], a, exec)
+			base := prev.start + int64(i) + exec.start - outLo
+			accumRow(buf[base:base+ew], a, exec)
 		}
 	}
 
@@ -197,8 +224,8 @@ func convolveDropCore(buf []float64, outLo int64, prev, exec *PMF, deadline int6
 	if limit >= int64(len(buf)) {
 		limit = int64(len(buf)) - 1
 	}
-	for k := int64(0); k <= limit; k++ {
-		success += buf[k]
+	for _, v := range buf[:limit+1] {
+		success += v
 	}
 	if success > 1 {
 		success = 1 // floating-point accumulation guard
@@ -209,10 +236,11 @@ func convolveDropCore(buf []float64, outLo int64, prev, exec *PMF, deadline int6
 		// an impulse at the deadline — the task is killed at δi and the
 		// machine freed.
 		var late float64
-		for k := dlIdx + 1; k < int64(len(buf)); k++ {
-			late += buf[k]
-			buf[k] = 0
+		tail := buf[dlIdx+1:]
+		for _, v := range tail {
+			late += v
 		}
+		clear(tail)
 		buf[dlIdx] += late
 	} else if mode != PendingDrop {
 		panic(fmt.Sprintf("pmf: unknown drop mode %v", mode))
@@ -220,22 +248,17 @@ func convolveDropCore(buf []float64, outLo int64, prev, exec *PMF, deadline int6
 
 	// Carried predecessor mass (Eq. 4's c_pend(i-1)(t) term): the task
 	// never starts; the machine frees up when the predecessor finishes.
-	if prev.nz != nil {
-		for _, off := range prev.nz {
-			st := prev.start + int64(off)
-			if st >= deadline {
-				buf[st-outLo] += prev.probs[off]
-			}
+	if nz != nil {
+		for _, off := range nz[nzCut:] {
+			buf[prev.start+int64(off)-outLo] += prev.probs[off]
 		}
 	} else {
-		for i, a := range prev.probs {
+		base := prev.start + cut - outLo
+		for i, a := range prev.probs[cut:] {
 			if a == 0 {
 				continue
 			}
-			st := prev.start + int64(i)
-			if st >= deadline {
-				buf[st-outLo] += a
-			}
+			buf[base+int64(i)] += a
 		}
 	}
 	return success

@@ -102,20 +102,42 @@ func DropSuccess(prev *PMF, exec *Profile, deadline int64) float64 {
 		return 0
 	}
 	var s float64
-	for i, a := range prev.probs {
-		if a == 0 {
-			continue
+	// Only slots strictly before the deadline contribute; prev's support is
+	// ascending, so the prefix below the boundary index is exactly the set
+	// the per-element break used to visit, in the same order.
+	cut := startsBefore(prev, deadline)
+	if nz := prev.nz; nz != nil {
+		for _, off := range nz {
+			if int64(off) >= cut {
+				break
+			}
+			s += prev.probs[off] * exec.CDF(deadline-prev.start-int64(off))
 		}
-		st := prev.start + int64(i)
-		if st >= deadline {
-			break // prev ticks are increasing; nothing later can start
+	} else {
+		for i, a := range prev.probs[:cut] {
+			if a == 0 {
+				continue
+			}
+			s += a * exec.CDF(deadline-prev.start-int64(i))
 		}
-		s += a * exec.CDF(deadline-st)
 	}
 	if s > 1 {
 		s = 1 // floating-point accumulation guard
 	}
 	return s
+}
+
+// startsBefore returns the count of prev's dense slots whose tick lies
+// strictly before the deadline, clamped into [0, len].
+func startsBefore(prev *PMF, deadline int64) int64 {
+	cut := deadline - prev.start
+	if cut < 0 {
+		return 0
+	}
+	if cut > int64(len(prev.probs)) {
+		return int64(len(prev.probs))
+	}
+	return cut
 }
 
 // DropExpectedFree computes the mean of ConvolveDrop(prev, exec, δ, mode)'s
@@ -165,43 +187,76 @@ func DropEval(prev *PMF, exec *Profile, deadline int64, mode DropMode) (success,
 	if mode == NoDrop {
 		return DropSuccess(prev, exec, deadline), prev.Mean() + exec.Mean()
 	}
+	// One boundary split replaces the per-element deadline test, and the
+	// loop-invariant mode test is hoisted into dedicated loops: ascending
+	// support means every slot before the boundary takes the mode branch
+	// and every slot after it takes the carried branch, so the split loops
+	// visit the same elements in the same order as the single switch-laden
+	// scan they replace — bit-identical sums at a fraction of the branches.
+	cut := startsBefore(prev, deadline)
 	var s, e, mass float64
-	if prev.nz != nil {
+	if nz := prev.nz; nz != nil {
 		// Sparse fast path: a compacted tail stores few impulses over a
 		// wide dense support; walking the non-zero index skips only exact
 		// zeros, so the sums are bit-identical to the dense scan below.
-		for _, off := range prev.nz {
-			a := prev.probs[off]
-			st := prev.start + int64(off)
-			mass += a
-			switch {
-			case st >= deadline:
-				e += a * float64(st)
-			case mode == Evict:
+		nzCut := 0
+		for nzCut < len(nz) && int64(nz[nzCut]) < cut {
+			nzCut++
+		}
+		probs := prev.probs
+		if mode == Evict {
+			for _, off := range nz[:nzCut] {
+				a := probs[off]
+				st := prev.start + int64(off)
+				mass += a
 				s += a * exec.CDF(deadline-st)
 				e += a * (float64(st) + exec.MeanCappedAt(deadline-st))
-			default: // PendingDrop
+			}
+		} else {
+			em := exec.Mean()
+			for _, off := range nz[:nzCut] {
+				a := probs[off]
+				st := prev.start + int64(off)
+				mass += a
 				s += a * exec.CDF(deadline-st)
-				e += a * (float64(st) + exec.Mean())
+				e += a * (float64(st) + em)
 			}
 		}
+		for _, off := range nz[nzCut:] {
+			a := probs[off]
+			mass += a
+			e += a * float64(prev.start+int64(off))
+		}
 	} else {
-		for i, a := range prev.probs {
+		if mode == Evict {
+			for i, a := range prev.probs[:cut] {
+				if a == 0 {
+					continue
+				}
+				st := prev.start + int64(i)
+				mass += a
+				s += a * exec.CDF(deadline-st)
+				e += a * (float64(st) + exec.MeanCappedAt(deadline-st))
+			}
+		} else {
+			em := exec.Mean()
+			for i, a := range prev.probs[:cut] {
+				if a == 0 {
+					continue
+				}
+				st := prev.start + int64(i)
+				mass += a
+				s += a * exec.CDF(deadline-st)
+				e += a * (float64(st) + em)
+			}
+		}
+		base := prev.start + cut
+		for i, a := range prev.probs[cut:] {
 			if a == 0 {
 				continue
 			}
-			st := prev.start + int64(i)
 			mass += a
-			switch {
-			case st >= deadline:
-				e += a * float64(st)
-			case mode == Evict:
-				s += a * exec.CDF(deadline-st)
-				e += a * (float64(st) + exec.MeanCappedAt(deadline-st))
-			default: // PendingDrop
-				s += a * exec.CDF(deadline-st)
-				e += a * (float64(st) + exec.Mean())
-			}
+			e += a * float64(base+int64(i))
 		}
 	}
 	if s > 1 {

@@ -462,6 +462,26 @@ func (s *Simulator) NextEventTick() (int64, bool) {
 	return e.Tick, ok
 }
 
+// StepUntil handles every scheduled internal event with tick strictly
+// before horizon, in tick order, and returns how many it handled. It is
+// the per-datacenter work contract of the parallel cluster engine: between
+// two cluster-clock sync points A and B the engine hands each datacenter
+// StepUntil(B) — optionally preceded by an Admit at A — and the datacenter
+// burns down its private event queue on its own goroutine. Events at
+// exactly horizon are left pending, because the next sync point (an
+// arrival, or a cluster-scoped event) wins ties over internal events.
+func (s *Simulator) StepUntil(horizon int64) int {
+	n := 0
+	for {
+		tick, ok := s.NextEventTick()
+		if !ok || tick >= horizon {
+			return n
+		}
+		s.StepEvent()
+		n++
+	}
+}
+
 // Admit delivers one arriving task to the batch queue at its arrival tick
 // and runs the mapping event every arrival triggers. Drivers must admit in
 // global time order — a task arriving before the simulator clock is

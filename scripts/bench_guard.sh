@@ -19,6 +19,20 @@ if [ -z "$names" ]; then
 	echo "bench-guard: no benchmarks in $baseline_file" >&2
 	exit 1
 fi
+
+# A baseline recorded from a single iteration bakes first-run warm-up
+# (process-wide PET caches, sync.Pool fills) into its allocs/op — roughly
+# double the steady state for the trial benches — which silently loosens
+# the 2x gate to ~4x. Refuse such baselines; `make bench` records at
+# -benchtime 3x precisely so every committed entry is steady-state.
+cold=$(grep -o '"name":"[^"]*","iterations":1,' "$baseline_file" | cut -d'"' -f4)
+if [ -n "$cold" ]; then
+	for name in $cold; do
+		echo "bench-guard: $name in $baseline_file was recorded from a single iteration (warm-up, not steady state)" >&2
+	done
+	echo "bench-guard: re-record the baseline with 'make bench' (-benchtime 3x)" >&2
+	exit 1
+fi
 pattern=$(printf '%s|' $names | sed 's/|$//')
 
 out=$(go test -run xxx -bench "^($pattern)\$" -benchtime 1x -benchmem .)
