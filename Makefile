@@ -3,8 +3,14 @@ DATE                := $(shell date +%Y%m%d)
 BENCH_BASELINE      ?= BENCH_20260808.json
 FUZZTIME            ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
+# Statement-coverage floor for the sharded cluster engine — the package
+# where a silent test regression would hurt most (detection, gate
+# buffering, and the parallel drivers all live there). Set to the
+# measured coverage when the guard was introduced; raise it when
+# coverage durably improves, never lower it to make a PR pass.
+CLUSTER_COVER_FLOOR ?= 88.3
 
-.PHONY: build vet test ci lint bench bench-smoke bench-guard golden golden-update fuzz-smoke race-stream race-cluster
+.PHONY: build vet test ci lint bench bench-smoke bench-guard golden golden-update fuzz-smoke race-stream race-cluster cover
 
 build:
 	$(GO) build ./...
@@ -20,7 +26,23 @@ test:
 # restating them, so this file is the single source of truth for what green
 # means. (The lint job is separate: it downloads staticcheck, so it is not
 # part of the offline ci target.)
-ci: vet build test golden race-stream fuzz-smoke bench-smoke bench-guard
+ci: vet build test cover golden race-stream fuzz-smoke bench-smoke bench-guard
+
+# Per-package statement coverage, with a hard floor on internal/cluster:
+# the build fails if the cluster engine's coverage drops below
+# CLUSTER_COVER_FLOOR. Other packages are reported but not gated.
+cover:
+	$(GO) test -cover ./... | tee /tmp/cover_raw.txt
+	@awk -v floor=$(CLUSTER_COVER_FLOOR) ' \
+	$$2 == "taskprune/internal/cluster" { \
+		found = 1; \
+		for (i = 3; i <= NF; i++) if ($$i == "coverage:") { pct = $$(i+1); sub(/%/, "", pct) } \
+		if (pct + 0 < floor + 0) { \
+			printf("FAIL: internal/cluster coverage %s%% is below the %s%% floor\n", pct, floor); exit 1 \
+		} \
+		printf("internal/cluster coverage %s%% (floor %s%%)\n", pct, floor) \
+	} \
+	END { if (!found) { print "FAIL: no coverage line for internal/cluster"; exit 1 } }' /tmp/cover_raw.txt
 
 # Golden decision-trace determinism: the committed traces (single-fleet
 # and 3-DC cluster) must replay byte for byte, twice, so flaky

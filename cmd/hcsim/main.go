@@ -27,6 +27,7 @@ import (
 
 	"taskprune/internal/cluster"
 	"taskprune/internal/experiments"
+	"taskprune/internal/metrics"
 	"taskprune/internal/report"
 	"taskprune/internal/scenario"
 	"taskprune/internal/simulator"
@@ -57,6 +58,7 @@ var experimentOrder = []struct {
 	{"ext-approx", experiments.ExtensionApproximate},
 	{"scen-fault", experiments.ScenarioFaultTolerance},
 	{"cluster-fault", experiments.ClusterFaultTolerance},
+	{"detect-lag", experiments.DetectionLag},
 	{"checkpoint", experiments.CheckpointRestore},
 	{"stale-pet", experiments.StalePET},
 	{"belief-converge", experiments.BeliefConvergence},
@@ -356,15 +358,31 @@ func runCluster(opts experiments.Options, name string, level float64, sc *scenar
 	fmt.Printf("%s @%s ×%d DCs (%s routing): robustness %.1f%% (completed %d / window %d; dropped %d, missed %d) in %v\n",
 		name, workload.LevelLabel(level), dcs, policy.Name(), st.RobustnessPct, st.Completed, st.Window,
 		st.Dropped, st.Missed, elapsed.Round(time.Millisecond))
+	lostByDC := eng.LostUndetectedByDC()
 	for d, s := range perDC {
 		dc := eng.DCList()[d]
-		fmt.Printf("  dc%d (machines %v): %d tasks, robustness %.1f%%, %d requeued\n",
-			d, dc.Machines(), s.Total, s.RobustnessPct, dc.Sim().Requeued())
+		fmt.Printf("  dc%d (machines %v): %d tasks, robustness %.1f%%, %d requeued, %d lost undetected\n",
+			d, dc.Machines(), s.Total, s.RobustnessPct, dc.Sim().Requeued(), lostByDC[d])
 	}
 	if sc != nil {
-		fmt.Printf("scenario %q: %d events, %d gate drops\n", sc.Name, len(sc.Events), eng.GateDrops())
+		g := eng.Gate()
+		fmt.Printf("scenario %q: %d events; gate: %d dropped, %d shed, %d lost undetected\n",
+			sc.Name, len(sc.Events), g.Dropped, g.Shed, g.LostUndetected)
+		if fo := eng.Failover(); fo.Enabled() {
+			fmt.Printf("%s: %d buffered (max depth %d), %d bounced, %d retries, %d detections (mean lag %.1f ticks)\n",
+				fo, g.Buffered, g.MaxQueueDepth, g.Bounced, g.Retries, g.Detections, meanLag(g))
+		}
 	}
 	return nil
+}
+
+// meanLag averages the health monitor's detection delay over the outages
+// it actually flagged (0 when none were).
+func meanLag(g metrics.GateStats) float64 {
+	if g.Detections == 0 {
+		return 0
+	}
+	return float64(g.DetectionLagTicks) / float64(g.Detections)
 }
 
 func writeCSV(path string, tables []*report.Table) error {

@@ -13,6 +13,11 @@
 // equivalence tests pin. Scenario dc-fail/dc-recover events model whole-DC
 // outages: a failed datacenter's tasks either drop or fail over to the
 // survivors through the same dispatcher that routes arrivals.
+//
+// By default the dispatcher is an oracle: it sees outages the instant they
+// happen. A scenario (or Config) failover policy replaces that oracle with
+// a simulated health monitor — heartbeat detection lag, bounded gate
+// buffering with shedding, and retry/backoff re-dispatch; see failover.go.
 package cluster
 
 import (
@@ -52,6 +57,12 @@ type Config struct {
 	// RecordDispatch retains the dispatcher's routing log (Dispatches) for
 	// auditing and the golden cluster traces.
 	RecordDispatch bool
+	// Failover configures the dispatcher's failure-detection and admission
+	// layer (health monitoring, gate buffering, retry/backoff). An explicit
+	// policy wins over one declared on Sim.Scenario; nil falls back to the
+	// scenario's, and a disabled policy keeps the oracle dispatcher
+	// byte-identical to engines built before the layer existed.
+	Failover *scenario.FailoverPolicy
 	// Parallel steps the datacenters concurrently between cluster-clock
 	// barriers, one goroutine per DC, instead of interleaving them on the
 	// caller's goroutine. Traces, dispatch log, and statistics are
@@ -75,6 +86,11 @@ type DC struct {
 	// are individually down (machine-scoped events) still receives
 	// arrivals — that is a brownout, not an outage.
 	alive bool
+	// healthy is the dispatcher's *belief* about alive. Under the oracle
+	// failover policy the two never diverge; under heartbeat detection
+	// healthy lags alive in both directions (detection delay after a
+	// failure, probation after a recovery). Routing policies see healthy.
+	healthy bool
 }
 
 // Index returns the datacenter's position in the partition order.
@@ -86,8 +102,15 @@ func (d *DC) Machines() []int { return d.cols }
 // Sim exposes the datacenter's simulator (counters, machines, tests).
 func (d *DC) Sim() *simulator.Simulator { return d.sim }
 
-// Alive reports whether the datacenter is in service (not dc-failed).
-func (d *DC) Alive() bool { return d.alive }
+// Alive reports whether the dispatcher believes the datacenter is in
+// service. This is the routing view — policies must only see what the
+// health monitor sees — and equals ground truth exactly when the failover
+// policy is the oracle (the default).
+func (d *DC) Alive() bool { return d.healthy }
+
+// InService reports ground truth: whether the datacenter is actually up
+// (not dc-failed), regardless of what the health monitor believes.
+func (d *DC) InService() bool { return d.alive }
 
 // QueuedLoad counts every task the datacenter currently holds: the batch
 // queue plus each machine's queue, executing task included.
@@ -125,8 +148,12 @@ func (d *DC) onTimeScore(now int64, t *task.Task) float64 {
 type Dispatch struct {
 	Tick     int64
 	TaskID   int
-	DC       int  // -1: dropped at the gate (no alive datacenter)
-	Failover bool // re-routing a dead datacenter's drained task
+	DC       int  // -1: consumed at the gate (dropped or buffered)
+	Failover bool // re-routing after an outage: salvage, bounce retry, loss
+	// Attempt counts prior failed dispatches of this task under detection
+	// (0 for fresh arrivals and buffer drains). Not part of the golden
+	// dispatch-blob format, which predates it.
+	Attempt int
 }
 
 // Engine drives one sharded trial. Like the simulator it wraps, it is
@@ -148,7 +175,16 @@ type Engine struct {
 	dispatches []Dispatch
 	scratch    []*task.Task
 	now        int64
-	gateDrops  int
+
+	// Detection-and-admission layer state (failover.go). With a disabled
+	// policy only gateStats.Dropped ever moves.
+	fo        *scenario.FailoverPolicy
+	gate      gateHeap
+	gateSeq   int
+	epochs    []int
+	buf       []*task.Task
+	gateStats metrics.GateStats
+	lostByDC  []int
 }
 
 // New validates cfg, partitions the fleet, and builds the per-datacenter
@@ -198,7 +234,23 @@ func New(cfg Config) (*Engine, error) {
 	if bp == nil && cfg.Sim.Scenario != nil {
 		bp = cfg.Sim.Scenario.Belief
 	}
-	e := &Engine{cfg: cfg, matrix: cfg.Sim.PET, policy: policy, clusterEvents: clusterEvents}
+	// The failover policy is cluster-scoped (it configures the dispatcher,
+	// not the datacenters) and resolves like the others: explicit Config
+	// wins, else the scenario's. Validate here unconditionally — a static
+	// scenario skips ValidateCluster in splitScenario, but a malformed
+	// policy must still be rejected.
+	fo := cfg.Failover
+	if fo == nil && cfg.Sim.Scenario != nil {
+		fo = cfg.Sim.Scenario.Failover
+	}
+	if err := fo.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	e := &Engine{
+		cfg: cfg, matrix: cfg.Sim.PET, policy: policy, clusterEvents: clusterEvents,
+		fo:     fo,
+		epochs: make([]int, cfg.DCs), lostByDC: make([]int, cfg.DCs),
+	}
 	for d := 0; d < cfg.DCs; d++ {
 		lo, hi := blockBounds(d, nm, cfg.DCs)
 		cols := make([]int, 0, hi-lo)
@@ -217,7 +269,7 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: datacenter %d: %w", d, err)
 		}
-		e.dcs = append(e.dcs, &DC{index: d, cols: cols, sim: sim, view: sim.View(), alive: true})
+		e.dcs = append(e.dcs, &DC{index: d, cols: cols, sim: sim, view: sim.View(), alive: true, healthy: true})
 	}
 	return e, nil
 }
@@ -322,6 +374,9 @@ func (e *Engine) RunSource(src workload.Source) (metrics.TrialStats, []metrics.T
 	} else if err := e.runSequential(src); err != nil {
 		return metrics.TrialStats{}, nil, err
 	}
+	// The drivers return with every arrival and event consumed; anything
+	// still waiting in the gate buffer has nowhere left to go.
+	e.flushGateBuffer()
 	perDC := make([]metrics.TrialStats, len(e.dcs))
 	total := 0.0
 	for i, d := range e.dcs {
@@ -351,11 +406,16 @@ func (e *Engine) runSequential(src workload.Source) error {
 			}
 		case ok:
 			e.now = tick
-			if dc < 0 {
+			switch {
+			case dc == dcCluster:
 				if err := e.stepClusterEvent(); err != nil {
 					return err
 				}
-			} else {
+			case dc == dcGate:
+				if err := e.stepGateEvent(); err != nil {
+					return err
+				}
+			default:
 				e.dcs[dc].sim.StepEvent()
 			}
 		default:
@@ -377,13 +437,24 @@ func (e *Engine) pull(src workload.Source) (*task.Task, bool, error) {
 	return t, true, nil
 }
 
+// Sentinel dc values returned by nextEvent for engine-level event sources.
+const (
+	dcCluster = -1 // dc-fail/dc-recover truth schedule
+	dcGate    = -2 // gate-event queue (detection, trust, salvage, retry)
+)
+
 // nextEvent returns the earliest pending event across the cluster — the
-// engine's own dc-fail/dc-recover schedule and every datacenter's internal
-// queue. Ties break cluster-first, then lowest datacenter index: a fixed,
-// documented order that keeps multi-DC replays byte-identical.
+// engine's own dc-fail/dc-recover schedule, the gate-event queue, and
+// every datacenter's internal queue. Ties break cluster-first, then gate,
+// then lowest datacenter index: a fixed, documented order that keeps
+// multi-DC replays byte-identical (truth events settle before the belief
+// observations and retries that depend on them).
 func (e *Engine) nextEvent() (tick int64, dc int, ok bool) {
 	if e.evPos < len(e.clusterEvents) {
-		tick, dc, ok = e.clusterEvents[e.evPos].Tick, -1, true
+		tick, dc, ok = e.clusterEvents[e.evPos].Tick, dcCluster, true
+	}
+	if t, has := e.nextGateTick(); has && (!ok || t < tick) {
+		tick, dc, ok = t, dcGate, true
 	}
 	for i, d := range e.dcs {
 		if t, has := d.sim.NextEventTick(); has && (!ok || t < tick) {
@@ -393,21 +464,14 @@ func (e *Engine) nextEvent() (tick int64, dc int, ok bool) {
 	return tick, dc, ok
 }
 
-// dispatch routes one arrival through the policy. With every datacenter
-// down, the task has no queue to join and is dropped at the gate (counted
-// in the cluster aggregate, recycled to the source's pool).
+// dispatch routes one arrival through the gate (routeArrival decides its
+// fate; admitted tasks enter their datacenter's simulator immediately —
+// this is the sequential driver's admit step).
 func (e *Engine) dispatch(t *task.Task) error {
-	e.now = t.Arrival
-	if !e.anyAlive() {
-		e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: -1})
-		e.dropAtGate(t, t.Arrival)
-		return nil
-	}
-	d, err := e.pick(t.Arrival, t)
-	if err != nil {
+	d, admit, err := e.routeArrival(t)
+	if err != nil || !admit {
 		return err
 	}
-	e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: d})
 	return e.dcs[d].sim.Admit(t)
 }
 
@@ -417,17 +481,20 @@ func (e *Engine) dispatch(t *task.Task) error {
 // silent injection into a dead fleet.
 func (e *Engine) pick(now int64, t *task.Task) (int, error) {
 	d := e.policy.Pick(now, t, e.dcs)
-	if d < 0 || d >= len(e.dcs) || !e.dcs[d].alive {
-		return 0, fmt.Errorf("cluster: policy %q picked datacenter %d (alive datacenters only)", e.policy.Name(), d)
+	if d < 0 || d >= len(e.dcs) || !e.dcs[d].healthy {
+		return 0, fmt.Errorf("cluster: policy %q picked datacenter %d (believed-healthy datacenters only)", e.policy.Name(), d)
 	}
 	return d, nil
 }
 
-// stepClusterEvent fires the next dc-fail/dc-recover. A dc-fail drains the
-// datacenter through the simulator's FailDC; under the Requeue policy the
-// drained tasks are re-dispatched to surviving datacenters in drain order
-// through the same routing policy as arrivals (dropping them when no
-// survivor remains).
+// stepClusterEvent fires the next dc-fail/dc-recover — a ground-truth
+// transition. Under the oracle failover policy the dispatcher's belief
+// moves in the same step: a dc-fail drains the datacenter through the
+// simulator's FailDC and (under the Requeue policy) re-dispatches the
+// drained tasks to surviving datacenters in drain order through the same
+// routing policy as arrivals. Under heartbeat detection only the truth
+// moves here; the belief follows through the gate events that
+// scheduleDetection and the recovery probation plant.
 func (e *Engine) stepClusterEvent() error {
 	ev := e.clusterEvents[e.evPos]
 	e.evPos++
@@ -437,51 +504,56 @@ func (e *Engine) stepClusterEvent() error {
 		if !d.alive {
 			return nil // failing a failed datacenter is a no-op, like machine.Fail
 		}
+		e.bumpEpoch(ev.DC)
 		d.alive = false
+		if e.fo.Detection() && d.healthy {
+			e.scheduleDetection(d, ev.Tick, ev.Policy == scenario.Drop)
+			return nil
+		}
+		// Detected instantly: the oracle, or a refail during probation
+		// (the monitor never re-trusted the datacenter, so nothing about
+		// the belief changes — the drained tasks reroute immediately).
+		d.healthy = false
 		drained := d.sim.FailDC(ev.Tick, ev.Policy == scenario.Drop, e.scratch[:0])
 		for _, t := range drained {
-			if !e.anyAlive() {
-				e.record(Dispatch{Tick: ev.Tick, TaskID: t.ID, DC: -1, Failover: true})
-				d.sim.DropInjected(t, ev.Tick)
-				continue
-			}
-			to, err := e.pick(ev.Tick, t)
-			if err != nil {
+			if err := e.routeDrained(d, t, ev.Tick); err != nil {
 				e.scratch = drained[:0]
 				return err
 			}
-			e.record(Dispatch{Tick: ev.Tick, TaskID: t.ID, DC: to, Failover: true})
-			e.dcs[to].sim.InjectRequeued(t, ev.Tick)
 		}
 		e.scratch = drained[:0]
 	case scenario.DCRecover:
 		if d.alive {
 			return nil // recovering an in-service datacenter is a no-op
 		}
+		e.bumpEpoch(ev.DC)
 		d.alive = true
 		d.sim.RecoverDC(ev.Tick)
+		if e.fo.Detection() {
+			if !d.healthy {
+				// Re-trust only after the first post-recovery heartbeat
+				// plus the probation window.
+				hb := e.fo.EffectiveHeartbeatEvery()
+				e.pushGate(gateEvent{tick: heartbeatAt(ev.Tick, hb) + e.fo.Probation, kind: gevTrust, dc: ev.DC, epoch: e.epochs[ev.DC]})
+			}
+			return nil
+		}
+		d.healthy = true
+		return e.drainGateBuffer(ev.Tick)
 	}
 	return nil
 }
 
-// dropAtGate exits an arrival that no datacenter can accept.
+// dropAtGate exits a task that no datacenter can accept and no buffer can
+// hold.
 func (e *Engine) dropAtGate(t *task.Task, now int64) {
 	t.State = task.StateDropped
 	t.Finish = now
 	e.collector.Observe(t)
-	e.gateDrops++
+	e.gateStats.Dropped++
 	if e.recycler != nil {
 		e.recycler.Recycle(t)
 	}
-}
-
-func (e *Engine) anyAlive() bool {
-	for _, d := range e.dcs {
-		if d.alive {
-			return true
-		}
-	}
-	return false
 }
 
 func (e *Engine) record(d Dispatch) {
@@ -497,8 +569,20 @@ func (e *Engine) DCList() []*DC { return e.dcs }
 func (e *Engine) Dispatches() []Dispatch { return e.dispatches }
 
 // GateDrops returns how many tasks were dropped at the gate because no
-// datacenter was alive to take them.
-func (e *Engine) GateDrops() int { return e.gateDrops }
+// datacenter was believed healthy (and no gate buffer could hold them).
+func (e *Engine) GateDrops() int { return e.gateStats.Dropped }
+
+// Gate returns the dispatcher's admission-layer counters: the three
+// distinct loss classes (dropped at gate, shed from buffer, lost to
+// undetected outages) plus retry, buffering, and detection-lag telemetry.
+func (e *Engine) Gate() metrics.GateStats { return e.gateStats }
+
+// LostUndetectedByDC returns, per datacenter, how many tasks were lost
+// while bouncing off that datacenter during its undetected outages.
+func (e *Engine) LostUndetectedByDC() []int { return e.lostByDC }
+
+// Failover returns the resolved failover policy (nil when disabled).
+func (e *Engine) Failover() *scenario.FailoverPolicy { return e.fo }
 
 // Policy returns the engine's dispatch policy.
 func (e *Engine) Policy() Policy { return e.policy }

@@ -243,7 +243,7 @@ func NewPolicyOrDie(t testing.TB, name string) Policy {
 }
 
 func TestRoundRobinSkipsDeadDCs(t *testing.T) {
-	dcs := []*DC{{index: 0, alive: true}, {index: 1, alive: false}, {index: 2, alive: true}}
+	dcs := []*DC{{index: 0, alive: true, healthy: true}, {index: 1, alive: false}, {index: 2, alive: true, healthy: true}}
 	p := &RoundRobin{}
 	want := []int{0, 2, 0, 2}
 	for i, w := range want {

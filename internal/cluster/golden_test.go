@@ -76,6 +76,14 @@ func clusterTrialMode(t testing.TB, matrix *pet.Matrix, heuristic, route string,
 	for d, s := range perDC {
 		writeStats(fmt.Sprintf("dc%d", d), s)
 	}
+	// Gate counters join the record only when a failover policy is on, so
+	// the pre-existing nil-policy goldens stay byte-identical.
+	if g := eng.Gate(); eng.Failover().Enabled() {
+		fmt.Fprintln(&buf, "# gate dropped,shed,lost,retries,bounced,buffered,maxdepth,detections,lag")
+		fmt.Fprintf(&buf, "%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			g.Dropped, g.Shed, g.LostUndetected, g.Retries, g.Bounced, g.Buffered, g.MaxQueueDepth, g.Detections, g.DetectionLagTicks)
+		fmt.Fprintf(&buf, "# lost-per-dc %v\n", eng.LostUndetectedByDC())
+	}
 	fmt.Fprintln(&buf, "# dispatch tick,task,dc,failover")
 	for _, d := range eng.Dispatches() {
 		fo := 0

@@ -8,20 +8,27 @@
 // structure, in two flavors keyed on what the routing policy reads:
 //
 //   - Barrier-per-arrival (any policy): the trial is cut at every sync
-//     point S (next arrival, or next dc-fail/dc-recover). One phase hands
-//     each datacenter its work up to S — the arrival admitted at the
-//     previous sync point, overlapped with every other datacenter's
-//     internal events below S — and the engine waits for all of them
-//     before routing at S. Stateful policies (least-queued, pet-aware)
-//     therefore see bit-for-bit the queue state the sequential interleave
-//     would have shown them.
+//     point S (next arrival, next dc-fail/dc-recover, or next gate event).
+//     One phase hands each datacenter its work up to S — the arrival
+//     admitted at the previous sync point, overlapped with every other
+//     datacenter's internal events below S — and the engine waits for all
+//     of them before routing at S. Stateful policies (least-queued,
+//     pet-aware) therefore see bit-for-bit the queue state the sequential
+//     interleave would have shown them.
 //
 //   - Wide-window pipelining (state-free policies, StateFreeRouter): when
 //     Pick provably reads nothing but the policy's own cursor and the
-//     alive set, the engine routes the whole window up to the next
-//     cluster-scoped event ahead of time, streaming arrivals into bounded
-//     per-DC channels while the workers admit and step concurrently;
-//     barriers remain only at dc-fail/dc-recover and at end of stream.
+//     believed-healthy set, the engine routes the whole window up to the
+//     next cluster-scoped or gate event ahead of time, streaming arrivals
+//     into bounded per-DC channels while the workers admit and step
+//     concurrently; barriers remain only at those engine-level events and
+//     at end of stream. The window bound is re-read after every dispatch:
+//     routing into a down-but-undetected datacenter plants a retry gate
+//     event that may now precede the next arrival.
+//
+// Gate events (detection, trust, salvage, retry — failover.go) fire on the
+// engine goroutine with every worker quiescent at that tick, so their
+// simulator injections land in exactly the sequential call order.
 //
 // Both drivers replay byte-identically against the sequential interleave
 // (traces, dispatch log, statistics) — TestClusterParallelStepDeterminism
@@ -37,12 +44,13 @@ import (
 )
 
 // StateFreeRouter marks a Policy whose Pick depends only on the policy's
-// own internal state and each datacenter's Alive flag — never on queue
-// contents, machine state, or anything else a concurrently stepping
+// own internal state and each datacenter's Alive flag (the dispatcher's
+// health belief — engine-owned, mutated only between barriers) — never on
+// queue contents, machine state, or anything else a concurrently stepping
 // simulator mutates. The engine pipelines such policies through the
 // wide-window driver; a policy that reads more than it declares here
 // would race and lose replay determinism, so implement StateFree with
-// care (RoundRobin: a cursor over the alive set, nothing else).
+// care (RoundRobin: a cursor over the believed-healthy set, nothing else).
 type StateFreeRouter interface {
 	Policy
 	StateFree() bool
@@ -154,14 +162,22 @@ func (r *parallelRunner) runBarrier(src workload.Source) error {
 	var pending *task.Task
 	pendingDC := -1
 	for {
+		// The next engine-level sync point, in the sequential tie order:
+		// arrivals beat cluster events beat gate events at the same tick.
 		ct, hasCluster := e.nextClusterTick()
-		arrivalSync := hasNext && (!hasCluster || next.Arrival <= ct)
-		horizon := int64(math.MaxInt64)
-		switch {
-		case arrivalSync:
+		gt, hasGate := e.nextGateTick()
+		engineSync := int64(math.MaxInt64)
+		isCluster := false
+		if hasGate {
+			engineSync = gt
+		}
+		if hasCluster && ct <= engineSync {
+			engineSync, isCluster = ct, true
+		}
+		arrivalSync := hasNext && next.Arrival <= engineSync
+		horizon := engineSync
+		if arrivalSync {
 			horizon = next.Arrival
-		case hasCluster:
-			horizon = ct
 		}
 		if err := r.phase(horizon, pendingDC, pending); err != nil {
 			return err
@@ -170,24 +186,24 @@ func (r *parallelRunner) runBarrier(src workload.Source) error {
 		switch {
 		case arrivalSync:
 			t := next
-			e.now = t.Arrival
-			if !e.anyAlive() {
-				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: -1})
-				e.dropAtGate(t, t.Arrival)
-			} else {
-				d, perr := e.pick(t.Arrival, t)
-				if perr != nil {
-					return perr
-				}
-				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: d})
+			d, admit, rerr := e.routeArrival(t)
+			if rerr != nil {
+				return rerr
+			}
+			if admit {
 				pending, pendingDC = t, d
 			}
 			if next, hasNext, err = e.pull(src); err != nil {
 				return err
 			}
-		case hasCluster:
+		case isCluster:
 			e.now = ct
 			if err := e.stepClusterEvent(); err != nil {
+				return err
+			}
+		case hasGate:
+			e.now = gt
+			if err := e.stepGateEvent(); err != nil {
 				return err
 			}
 		default:
@@ -225,12 +241,15 @@ func (r *parallelRunner) phase(horizon int64, admitDC int, admit *task.Task) err
 }
 
 // runWide is the state-free driver: the dispatcher routes every arrival
-// up to the next cluster-scoped event in one go — the policy's picks
-// cannot depend on how far the workers have gotten — and each datacenter
-// pipelines its admits and internal events concurrently with the
-// dispatch loop. Gate drops fold into the shared collector from here
-// while workers observe exits from their side; Share makes that safe and
-// order-invariant.
+// up to the next engine-level event (cluster-scoped or gate) in one go —
+// the policy's picks cannot depend on how far the workers have gotten —
+// and each datacenter pipelines its admits and internal events
+// concurrently with the dispatch loop. Gate drops, buffering, and bounce
+// scheduling fold into engine-owned state from here while workers observe
+// exits from their side; Share makes the collector safe and
+// order-invariant. The window bound is recomputed after every dispatch
+// because a dispatch into a down-but-undetected datacenter plants a retry
+// gate event, possibly before the next arrival.
 func (r *parallelRunner) runWide(src workload.Source) error {
 	e := r.e
 	next, hasNext, err := e.pull(src)
@@ -238,38 +257,55 @@ func (r *parallelRunner) runWide(src workload.Source) error {
 		return err
 	}
 	for {
-		ct, hasCluster := e.nextClusterTick()
-		for hasNext && (!hasCluster || next.Arrival <= ct) {
+		for hasNext {
+			bound := int64(math.MaxInt64)
+			if ct, has := e.nextClusterTick(); has {
+				bound = ct
+			}
+			if gt, has := e.nextGateTick(); has && gt < bound {
+				bound = gt
+			}
+			if next.Arrival > bound {
+				break
+			}
 			t := next
-			e.now = t.Arrival
-			if !e.anyAlive() {
-				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: -1})
-				e.dropAtGate(t, t.Arrival)
-			} else {
-				d, perr := e.pick(t.Arrival, t)
-				if perr != nil {
-					return perr
-				}
-				e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: d})
+			d, admit, rerr := e.routeArrival(t)
+			if rerr != nil {
+				return rerr
+			}
+			if admit {
 				r.workers[d].work <- dcWork{admit: t, horizon: t.Arrival}
 			}
 			if next, hasNext, err = e.pull(src); err != nil {
 				return err
 			}
 		}
+		ct, hasCluster := e.nextClusterTick()
+		gt, hasGate := e.nextGateTick()
 		horizon := int64(math.MaxInt64)
-		if hasCluster {
-			horizon = ct
+		isCluster := false
+		if hasGate {
+			horizon = gt
+		}
+		if hasCluster && ct <= horizon {
+			horizon, isCluster = ct, true
 		}
 		if err := r.barrierAll(horizon); err != nil {
 			return err
 		}
-		if !hasCluster {
-			return nil
-		}
-		e.now = ct
-		if err := e.stepClusterEvent(); err != nil {
-			return err
+		switch {
+		case isCluster:
+			e.now = ct
+			if err := e.stepClusterEvent(); err != nil {
+				return err
+			}
+		case hasGate:
+			e.now = gt
+			if err := e.stepGateEvent(); err != nil {
+				return err
+			}
+		default:
+			return nil // the MaxInt64 barrier drained every datacenter
 		}
 	}
 }

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taskprune/internal/scenario"
+	"taskprune/internal/simulator"
+	"taskprune/internal/workload"
+)
+
+// This file evaluates the detection-and-admission layer of the cluster
+// dispatcher: the fault-tolerance study (cluster.go) assumes an oracle
+// that reroutes the instant a datacenter dies, while real failover is
+// detection-based — outages go unnoticed for a heartbeat timeout, tasks
+// bounce off dead-but-trusted shards, and a fully dark cluster either
+// drops arrivals or buffers them against recovery. The study quantifies
+// what that imperfection costs and what bounded buffering buys back.
+
+// detectStormSchedule is the outage storm the detection study runs under:
+// a single staggered outage early (survivors absorb the load, detection
+// lag shows up as bounced dispatches), then a full blackout with
+// staggered recoveries (the gate buffer — or its absence — decides the
+// fate of every arrival in the dark window). Ticks are calibrated to the
+// ≈4100-tick span of an 800-task trial at the 19k level, mirroring
+// clusterOutageScenario.
+func detectStormSchedule(fo *scenario.FailoverPolicy) *scenario.Scenario {
+	sc := scenario.New("detect-storm").
+		DCFailAt(1200, 0, scenario.Requeue).
+		DCRecoverAt(2200, 0).
+		DCFailAt(2600, 0, scenario.Requeue).
+		DCFailAt(2600, 1, scenario.Requeue).
+		DCFailAt(2650, 2, scenario.Requeue).
+		DCFailAt(2650, 3, scenario.Requeue).
+		DCRecoverAt(3000, 0).
+		DCRecoverAt(3100, 1).
+		DCRecoverAt(3200, 2).
+		DCRecoverAt(3300, 3)
+	if fo != nil {
+		sc = sc.WithFailover(*fo)
+	}
+	return sc
+}
+
+// DetectionLag sweeps robustness against the health monitor's detection
+// timeout crossed with the gate buffer's capacity and shedding policy, on
+// a 4-datacenter PAM cluster with PET-aware routing at the 19k level.
+// Series are detectors — the oracle baseline against heartbeat monitors
+// with 200- and 600-tick timeouts (heartbeat × suspicion threshold) —
+// and x-positions are admission configurations, from drop-at-gate to a
+// 64-slot drop-oldest buffer, with 16-slot tiers small enough that the
+// blackout overflows them and the shedding policy has to choose victims.
+// The interesting reads: how much
+// robustness the detection lag itself costs (oracle vs heartbeat at the
+// same admission config), and how much of it bounded buffering buys back
+// once the blackout window no longer hard-drops arrivals.
+func DetectionLag(o Options) (*Figure, error) {
+	matrix := SPECPET()
+	wcfg := o.workloadConfig(workload.Level19k)
+	fig := &Figure{
+		Name:    "DetectLag",
+		Caption: "robustness @19k: PAM, pet-aware routing, 4 DCs under an outage storm — detection timeout vs gate buffering and shedding",
+	}
+	detectors := []struct {
+		name string
+		fo   scenario.FailoverPolicy
+	}{
+		{"oracle", scenario.FailoverPolicy{}},
+		{"hb100x2", scenario.FailoverPolicy{Kind: scenario.FailoverHeartbeat, HeartbeatEvery: 100, SuspectAfter: 2, Probation: 50}},
+		{"hb300x2", scenario.FailoverPolicy{Kind: scenario.FailoverHeartbeat, HeartbeatEvery: 300, SuspectAfter: 2, Probation: 50}},
+	}
+	admissions := []struct {
+		name string
+		cap  int
+		shed scenario.ShedKind
+	}{
+		{"no-buffer", 0, scenario.ShedDropNewest},
+		{"buf16-newest", 16, scenario.ShedDropNewest},
+		{"buf16-deadline", 16, scenario.ShedDeadlineAware},
+		{"buf64-oldest", 64, scenario.ShedDropOldest},
+	}
+	for _, det := range detectors {
+		for _, adm := range admissions {
+			fo := det.fo
+			fo.GateBuffer = adm.cap
+			fo.Shed = adm.shed
+			simCfg := simulator.MustConfigFor("PAM", matrix)
+			cp := ClusterPoint{DCs: 4, Route: "pet-aware", Scenario: detectStormSchedule(&fo)}
+			trials, err := o.RunClusterPoint(matrix, wcfg, simCfg, cp)
+			if err != nil {
+				return nil, fmt.Errorf("detect-lag %s/%s: %w", det.name, adm.name, err)
+			}
+			fig.Points = append(fig.Points, NewPoint(det.name, adm.name, trials))
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,43 @@
+package metrics
+
+// GateStats aggregates the cluster dispatcher's admission-layer counters:
+// everything that happened to tasks at the front-end gate rather than
+// inside a datacenter. The three loss counters are deliberately distinct —
+// Dropped, Shed, and LostUndetected answer different capacity questions —
+// and their sum is exactly the engine-level exits (tasks that left the
+// system without ever being admitted to a simulator core), which the
+// equivalence tests assert.
+type GateStats struct {
+	// Dropped counts arrivals (and failed-over tasks) dropped at the gate:
+	// no believed-healthy datacenter and no gate buffer configured.
+	Dropped int
+	// Shed counts tasks shed from the bounded gate buffer: overflow
+	// victims under the shedding policy, plus any tasks still buffered
+	// when the trial ended with every datacenter down.
+	Shed int
+	// LostUndetected counts tasks lost after bouncing off
+	// down-but-undetected datacenters: their retry budget ran out or
+	// their deadline expired while they were still bouncing.
+	LostUndetected int
+	// Retries counts re-dispatch attempts after bounced dispatches.
+	Retries int
+	// Bounced counts dispatches that landed on a down-but-undetected
+	// datacenter and came back after the detection delay.
+	Bounced int
+	// Buffered counts tasks that entered the gate buffer (whether they
+	// later drained or were shed).
+	Buffered int
+	// MaxQueueDepth is the deepest the gate buffer ever got.
+	MaxQueueDepth int
+	// Detections counts dc-fail events the health monitor actually
+	// flagged (an outage the datacenter recovers from before the
+	// suspicion threshold trips is never detected).
+	Detections int
+	// DetectionLagTicks sums, over Detections, the delay between a
+	// datacenter's true failure and the monitor marking it down.
+	DetectionLagTicks int64
+}
+
+// EngineExits returns the gate-level task exits: tasks that left the
+// system at the dispatcher, never reaching a datacenter's collector.
+func (g GateStats) EngineExits() int { return g.Dropped + g.Shed + g.LostUndetected }

@@ -1,0 +1,349 @@
+package scenario
+
+// This file declares the failover policy: what the front-end dispatcher
+// *knows* about datacenter health, as opposed to what is true. The cluster
+// engine's dc-fail/dc-recover events always move the ground truth; the
+// failover policy decides how (and how fast) the dispatcher's believed
+// health catches up — per-DC heartbeats with a suspicion threshold, a
+// probation window after recovery, bounce-and-retry for dispatches that
+// land on a down-but-undetected datacenter, and a bounded gate buffer for
+// arrivals that find no healthy datacenter at all. It is part of the
+// scenario wire format so a robustness study declares its detection model
+// next to the outages that stress it, exactly like CheckpointPolicy and
+// BeliefPolicy.
+
+import "fmt"
+
+// FailoverKind selects the dispatcher's failure-detection model.
+type FailoverKind int
+
+const (
+	// FailoverOracle detects instantly and perfectly: believed health is
+	// ground truth, byte-identical to the engine without the subsystem.
+	// The gate buffer (GateBuffer/Shed) still applies under this kind.
+	FailoverOracle FailoverKind = iota
+	// FailoverHeartbeat observes per-DC heartbeats on the cluster clock:
+	// a failed datacenter keeps receiving dispatches until SuspectAfter
+	// consecutive heartbeats go missing, and a recovered one re-enters
+	// rotation only after its first post-recovery heartbeat plus the
+	// probation window.
+	FailoverHeartbeat
+)
+
+// String implements fmt.Stringer.
+func (k FailoverKind) String() string {
+	switch k {
+	case FailoverOracle:
+		return "oracle"
+	case FailoverHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("FailoverKind(%d)", int(k))
+	}
+}
+
+// ShedKind selects which task a full gate buffer sheds.
+type ShedKind int
+
+const (
+	// ShedDropNewest sheds the incoming task (the buffer keeps its FIFO).
+	// This is the default.
+	ShedDropNewest ShedKind = iota
+	// ShedDropOldest sheds the buffer's head to make room for the incoming
+	// task.
+	ShedDropOldest
+	// ShedDeadlineAware sheds the waiting task with the least on-time
+	// probability — the earliest absolute deadline (least slack is the
+	// monotone proxy: every buffered task waits from the same tick), ties
+	// breaking toward the longest-buffered task.
+	ShedDeadlineAware
+)
+
+// String implements fmt.Stringer.
+func (k ShedKind) String() string {
+	switch k {
+	case ShedDropNewest:
+		return "drop-newest"
+	case ShedDropOldest:
+		return "drop-oldest"
+	case ShedDeadlineAware:
+		return "deadline-aware"
+	default:
+		return fmt.Sprintf("ShedKind(%d)", int(k))
+	}
+}
+
+// Defaults for the heartbeat detector's knobs when left zero.
+const (
+	// DefaultHeartbeatEvery is the heartbeat cadence in cluster ticks.
+	DefaultHeartbeatEvery = 25
+	// DefaultSuspectAfter is how many consecutive missed heartbeats mark a
+	// datacenter down.
+	DefaultSuspectAfter = 2
+	// DefaultRetryBase is the first retry's backoff delay in ticks.
+	DefaultRetryBase = 8
+	// DefaultRetryCap bounds the exponential backoff delay in ticks.
+	DefaultRetryCap = 64
+)
+
+// FailoverPolicy is the full detection-and-admission specification. The
+// zero value (and nil) is the oracle with no gate buffer: instant, perfect
+// detection and arrivals dropped at the gate when every datacenter is down
+// — exactly today's engine.
+type FailoverPolicy struct {
+	// Kind selects the detection model.
+	Kind FailoverKind
+	// HeartbeatEvery is the heartbeat cadence in cluster ticks: heartbeats
+	// are observed at every positive multiple of it (FailoverHeartbeat
+	// only; 0 means DefaultHeartbeatEvery).
+	HeartbeatEvery int64
+	// SuspectAfter is how many consecutive missed heartbeats the monitor
+	// tolerates before marking the datacenter down (FailoverHeartbeat
+	// only; 0 means DefaultSuspectAfter).
+	SuspectAfter int
+	// Probation is how many ticks after its first post-recovery heartbeat
+	// a recovered datacenter waits before re-entering rotation
+	// (FailoverHeartbeat only; 0 means it is trusted at that heartbeat).
+	Probation int64
+	// BounceAfter is the simulated detection delay of one failed dispatch:
+	// a task routed to a down-but-undetected datacenter bounces back to
+	// the dispatcher this many ticks later (FailoverHeartbeat only; 0
+	// means the effective heartbeat timeout, HeartbeatEvery×SuspectAfter).
+	BounceAfter int64
+	// MaxRetries caps how many bounced dispatches one task survives before
+	// it is lost (FailoverHeartbeat only; 0 means unlimited — the task
+	// retries until its deadline expires).
+	MaxRetries int
+	// RetryBase is the first retry's backoff delay in ticks; retry k waits
+	// BounceAfter + min(RetryBase·2^(k−1), RetryCap) after its failed
+	// dispatch (FailoverHeartbeat only; 0 means DefaultRetryBase).
+	RetryBase int64
+	// RetryCap bounds the exponential backoff delay (FailoverHeartbeat
+	// only; 0 means DefaultRetryCap).
+	RetryCap int64
+	// GateBuffer is the gate buffer's capacity: arrivals that find no
+	// believed-healthy datacenter enqueue in a FIFO of this size and drain
+	// on the next health transition, instead of dropping at the gate. 0
+	// disables buffering. Valid under both kinds.
+	GateBuffer int
+	// Shed selects which task a full gate buffer sheds (requires
+	// GateBuffer > 0 when set).
+	Shed ShedKind
+}
+
+// Enabled reports whether the policy changes anything relative to today's
+// oracle-detection, no-buffer engine (nil-safe).
+func (p *FailoverPolicy) Enabled() bool {
+	return p != nil && (p.Kind != FailoverOracle || p.GateBuffer > 0)
+}
+
+// Detection reports whether failure detection is imperfect — dispatches
+// can land on a down-but-undetected datacenter (nil-safe).
+func (p *FailoverPolicy) Detection() bool { return p != nil && p.Kind == FailoverHeartbeat }
+
+// Buffered reports whether gate buffering is on (nil-safe).
+func (p *FailoverPolicy) Buffered() bool { return p != nil && p.GateBuffer > 0 }
+
+// EffectiveHeartbeatEvery resolves the heartbeat cadence, applying the
+// default.
+func (p *FailoverPolicy) EffectiveHeartbeatEvery() int64 {
+	if p == nil || p.HeartbeatEvery == 0 {
+		return DefaultHeartbeatEvery
+	}
+	return p.HeartbeatEvery
+}
+
+// EffectiveSuspectAfter resolves the suspicion threshold, applying the
+// default.
+func (p *FailoverPolicy) EffectiveSuspectAfter() int {
+	if p == nil || p.SuspectAfter == 0 {
+		return DefaultSuspectAfter
+	}
+	return p.SuspectAfter
+}
+
+// EffectiveBounceAfter resolves the per-dispatch detection delay: the
+// configured value, else the heartbeat timeout HeartbeatEvery×SuspectAfter.
+func (p *FailoverPolicy) EffectiveBounceAfter() int64 {
+	if p == nil || p.BounceAfter == 0 {
+		return p.EffectiveHeartbeatEvery() * int64(p.EffectiveSuspectAfter())
+	}
+	return p.BounceAfter
+}
+
+// EffectiveRetryBase resolves the backoff base, applying the default.
+func (p *FailoverPolicy) EffectiveRetryBase() int64 {
+	if p == nil || p.RetryBase == 0 {
+		return DefaultRetryBase
+	}
+	return p.RetryBase
+}
+
+// EffectiveRetryCap resolves the backoff cap, applying the default.
+func (p *FailoverPolicy) EffectiveRetryCap() int64 {
+	if p == nil || p.RetryCap == 0 {
+		return DefaultRetryCap
+	}
+	return p.RetryCap
+}
+
+// Backoff returns retry k's backoff delay, min(RetryBase·2^(k−1),
+// RetryCap), in ticks (k ≥ 1; nil-safe).
+func (p *FailoverPolicy) Backoff(k int) int64 {
+	base, cap := p.EffectiveRetryBase(), p.EffectiveRetryCap()
+	d := base
+	for i := 1; i < k; i++ {
+		d *= 2
+		if d >= cap || d < 0 { // d < 0: shift past int64 range
+			return cap
+		}
+	}
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// Validate rejects malformed policies: negative knobs, heartbeat knobs on
+// the oracle kind, and a shedding policy without a buffer to shed from
+// (nil-safe).
+func (p *FailoverPolicy) Validate() error {
+	if p == nil {
+		return nil
+	}
+	switch p.Kind {
+	case FailoverOracle, FailoverHeartbeat:
+	default:
+		return fmt.Errorf("failover: unknown kind %d", int(p.Kind))
+	}
+	switch p.Shed {
+	case ShedDropNewest, ShedDropOldest, ShedDeadlineAware:
+	default:
+		return fmt.Errorf("failover: unknown shed policy %d", int(p.Shed))
+	}
+	if p.Kind != FailoverHeartbeat &&
+		(p.HeartbeatEvery != 0 || p.SuspectAfter != 0 || p.Probation != 0 ||
+			p.BounceAfter != 0 || p.MaxRetries != 0 || p.RetryBase != 0 || p.RetryCap != 0) {
+		return fmt.Errorf("failover: heartbeat/retry knobs only apply to the heartbeat kind (got kind %s)", p.Kind)
+	}
+	if p.HeartbeatEvery < 0 {
+		return fmt.Errorf("failover: negative heartbeat_every %d", p.HeartbeatEvery)
+	}
+	if p.SuspectAfter < 0 {
+		return fmt.Errorf("failover: negative suspect_after %d", p.SuspectAfter)
+	}
+	if p.Probation < 0 {
+		return fmt.Errorf("failover: negative probation %d", p.Probation)
+	}
+	if p.BounceAfter < 0 {
+		return fmt.Errorf("failover: negative bounce_after %d", p.BounceAfter)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("failover: negative max_retries %d", p.MaxRetries)
+	}
+	if p.RetryBase < 0 {
+		return fmt.Errorf("failover: negative retry_base %d", p.RetryBase)
+	}
+	if p.RetryCap < 0 {
+		return fmt.Errorf("failover: negative retry_cap %d", p.RetryCap)
+	}
+	if p.RetryCap != 0 && p.RetryCap < p.EffectiveRetryBase() {
+		return fmt.Errorf("failover: retry_cap %d below retry base %d", p.RetryCap, p.EffectiveRetryBase())
+	}
+	if p.GateBuffer < 0 {
+		return fmt.Errorf("failover: negative gate_buffer %d", p.GateBuffer)
+	}
+	if p.Shed != ShedDropNewest && p.GateBuffer == 0 {
+		return fmt.Errorf("failover: shed policy %s needs a gate_buffer to shed from", p.Shed)
+	}
+	return nil
+}
+
+// String renders the policy compactly for reports and errors.
+func (p *FailoverPolicy) String() string {
+	if !p.Enabled() {
+		return "failover=oracle"
+	}
+	if p.Kind == FailoverOracle {
+		return fmt.Sprintf("failover=oracle/buffer %d (%s)", p.GateBuffer, p.Shed)
+	}
+	s := fmt.Sprintf("failover=heartbeat/every %d×%d", p.EffectiveHeartbeatEvery(), p.EffectiveSuspectAfter())
+	if p.GateBuffer > 0 {
+		s += fmt.Sprintf("/buffer %d (%s)", p.GateBuffer, p.Shed)
+	}
+	return s
+}
+
+// jsonFailover is the wire form of a FailoverPolicy.
+type jsonFailover struct {
+	Kind           string `json:"kind"`
+	HeartbeatEvery int64  `json:"heartbeat_every,omitempty"`
+	SuspectAfter   int    `json:"suspect_after,omitempty"`
+	Probation      int64  `json:"probation,omitempty"`
+	BounceAfter    int64  `json:"bounce_after,omitempty"`
+	MaxRetries     int    `json:"max_retries,omitempty"`
+	RetryBase      int64  `json:"retry_base,omitempty"`
+	RetryCap       int64  `json:"retry_cap,omitempty"`
+	GateBuffer     int    `json:"gate_buffer,omitempty"`
+	Shed           string `json:"shed,omitempty"`
+}
+
+// parseFailover decodes the wire form, rejecting unknown kinds and shed
+// policies (the knob fields are integers, so the JSON layer already
+// rejects non-numeric values).
+func parseFailover(jf *jsonFailover) (*FailoverPolicy, error) {
+	if jf == nil {
+		return nil, nil
+	}
+	p := &FailoverPolicy{
+		HeartbeatEvery: jf.HeartbeatEvery,
+		SuspectAfter:   jf.SuspectAfter,
+		Probation:      jf.Probation,
+		BounceAfter:    jf.BounceAfter,
+		MaxRetries:     jf.MaxRetries,
+		RetryBase:      jf.RetryBase,
+		RetryCap:       jf.RetryCap,
+		GateBuffer:     jf.GateBuffer,
+	}
+	switch jf.Kind {
+	case "oracle":
+		p.Kind = FailoverOracle
+	case "heartbeat":
+		p.Kind = FailoverHeartbeat
+	default:
+		return nil, fmt.Errorf("scenario: failover has unknown kind %q", jf.Kind)
+	}
+	switch jf.Shed {
+	case "", "drop-newest":
+		p.Shed = ShedDropNewest
+	case "drop-oldest":
+		p.Shed = ShedDropOldest
+	case "deadline-aware":
+		p.Shed = ShedDeadlineAware
+	default:
+		return nil, fmt.Errorf("scenario: failover has unknown shed policy %q", jf.Shed)
+	}
+	return p, nil
+}
+
+// wireFailover encodes the policy back into its wire form (nil for nil).
+func wireFailover(p *FailoverPolicy) *jsonFailover {
+	if p == nil {
+		return nil
+	}
+	jf := &jsonFailover{
+		Kind:           p.Kind.String(),
+		HeartbeatEvery: p.HeartbeatEvery,
+		SuspectAfter:   p.SuspectAfter,
+		Probation:      p.Probation,
+		BounceAfter:    p.BounceAfter,
+		MaxRetries:     p.MaxRetries,
+		RetryBase:      p.RetryBase,
+		RetryCap:       p.RetryCap,
+		GateBuffer:     p.GateBuffer,
+	}
+	if p.Shed != ShedDropNewest {
+		jf.Shed = p.Shed.String()
+	}
+	return jf
+}

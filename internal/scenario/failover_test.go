@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFailoverValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *FailoverPolicy
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &FailoverPolicy{}, true},
+		{"heartbeat defaults", &FailoverPolicy{Kind: FailoverHeartbeat}, true},
+		{"heartbeat full", &FailoverPolicy{Kind: FailoverHeartbeat, HeartbeatEvery: 40, SuspectAfter: 3, Probation: 60, BounceAfter: 15, MaxRetries: 4, RetryBase: 5, RetryCap: 80, GateBuffer: 32, Shed: ShedDeadlineAware}, true},
+		{"oracle buffer", &FailoverPolicy{GateBuffer: 16, Shed: ShedDropOldest}, true},
+		{"unknown kind", &FailoverPolicy{Kind: FailoverKind(9)}, false},
+		{"unknown shed", &FailoverPolicy{GateBuffer: 4, Shed: ShedKind(7)}, false},
+		{"heartbeat knobs on oracle", &FailoverPolicy{Kind: FailoverOracle, HeartbeatEvery: 10}, false},
+		{"retry knobs on oracle", &FailoverPolicy{Kind: FailoverOracle, MaxRetries: 2}, false},
+		{"negative heartbeat", &FailoverPolicy{Kind: FailoverHeartbeat, HeartbeatEvery: -1}, false},
+		{"negative suspect", &FailoverPolicy{Kind: FailoverHeartbeat, SuspectAfter: -2}, false},
+		{"negative probation", &FailoverPolicy{Kind: FailoverHeartbeat, Probation: -5}, false},
+		{"negative bounce", &FailoverPolicy{Kind: FailoverHeartbeat, BounceAfter: -5}, false},
+		{"negative retries", &FailoverPolicy{Kind: FailoverHeartbeat, MaxRetries: -1}, false},
+		{"negative base", &FailoverPolicy{Kind: FailoverHeartbeat, RetryBase: -1}, false},
+		{"negative cap", &FailoverPolicy{Kind: FailoverHeartbeat, RetryCap: -1}, false},
+		{"cap below base", &FailoverPolicy{Kind: FailoverHeartbeat, RetryBase: 50, RetryCap: 10}, false},
+		{"negative buffer", &FailoverPolicy{GateBuffer: -1}, false},
+		{"shed without buffer", &FailoverPolicy{Shed: ShedDropOldest}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestFailoverEnabledAndDefaults(t *testing.T) {
+	var nilP *FailoverPolicy
+	if nilP.Enabled() || nilP.Detection() || nilP.Buffered() {
+		t.Error("nil policy must be fully disabled")
+	}
+	if (&FailoverPolicy{}).Enabled() {
+		t.Error("zero policy must be disabled")
+	}
+	if !(&FailoverPolicy{GateBuffer: 8}).Enabled() {
+		t.Error("oracle kind with a buffer is enabled")
+	}
+	if !(&FailoverPolicy{Kind: FailoverHeartbeat}).Detection() {
+		t.Error("heartbeat kind must report imperfect detection")
+	}
+	p := &FailoverPolicy{Kind: FailoverHeartbeat}
+	if got := p.EffectiveHeartbeatEvery(); got != DefaultHeartbeatEvery {
+		t.Errorf("EffectiveHeartbeatEvery() = %d, want default %d", got, DefaultHeartbeatEvery)
+	}
+	if got := p.EffectiveSuspectAfter(); got != DefaultSuspectAfter {
+		t.Errorf("EffectiveSuspectAfter() = %d, want default %d", got, DefaultSuspectAfter)
+	}
+	if got := p.EffectiveBounceAfter(); got != DefaultHeartbeatEvery*DefaultSuspectAfter {
+		t.Errorf("EffectiveBounceAfter() = %d, want heartbeat timeout %d", got, DefaultHeartbeatEvery*DefaultSuspectAfter)
+	}
+	q := &FailoverPolicy{Kind: FailoverHeartbeat, HeartbeatEvery: 40, SuspectAfter: 3, BounceAfter: 7}
+	if got := q.EffectiveBounceAfter(); got != 7 {
+		t.Errorf("explicit BounceAfter ignored: got %d", got)
+	}
+}
+
+func TestFailoverBackoff(t *testing.T) {
+	p := &FailoverPolicy{Kind: FailoverHeartbeat, RetryBase: 8, RetryCap: 64}
+	want := []int64{8, 16, 32, 64, 64, 64}
+	for k, w := range want {
+		if got := p.Backoff(k + 1); got != w {
+			t.Errorf("Backoff(%d) = %d, want %d", k+1, got, w)
+		}
+	}
+	// A huge retry index must saturate at the cap, not overflow.
+	if got := p.Backoff(80); got != 64 {
+		t.Errorf("Backoff(80) = %d, want cap 64", got)
+	}
+}
+
+func TestFailoverJSONRoundTrip(t *testing.T) {
+	src := `{"name":"detect","events":[{"tick":700,"kind":"dc-fail","dc":1,"policy":"requeue"},{"tick":1400,"kind":"dc-recover","dc":1}],` +
+		`"failover":{"kind":"heartbeat","heartbeat_every":40,"suspect_after":3,"probation":60,"bounce_after":15,"max_retries":4,"retry_base":5,"retry_cap":80,"gate_buffer":32,"shed":"deadline-aware"}}`
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failover == nil || s.Failover.Kind != FailoverHeartbeat || s.Failover.HeartbeatEvery != 40 ||
+		s.Failover.SuspectAfter != 3 || s.Failover.Probation != 60 || s.Failover.BounceAfter != 15 ||
+		s.Failover.MaxRetries != 4 || s.Failover.RetryBase != 5 || s.Failover.RetryCap != 80 ||
+		s.Failover.GateBuffer != 32 || s.Failover.Shed != ShedDeadlineAware {
+		t.Fatalf("parsed policy wrong: %+v", s.Failover)
+	}
+	if err := s.ValidateCluster(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, blob)
+	}
+	if again.Failover == nil || *again.Failover != *s.Failover {
+		t.Fatalf("round trip changed the failover policy: %+v vs %+v", s.Failover, again.Failover)
+	}
+}
+
+func TestFailoverParseErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"unknown kind":  `{"failover":{"kind":"psychic"}}`,
+		"missing kind":  `{"failover":{"gate_buffer":8}}`,
+		"unknown shed":  `{"failover":{"kind":"oracle","gate_buffer":8,"shed":"coin-flip"}}`,
+		"unknown field": `{"failover":{"kind":"oracle","jitter":5}}`,
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
+	}
+}
+
+func TestFailoverSingleFleetRejected(t *testing.T) {
+	s := New("buffered").WithFailover(FailoverPolicy{GateBuffer: 8})
+	if err := s.Validate(6); err == nil {
+		t.Fatal("single-fleet validation accepted an enabled failover policy")
+	}
+	if err := s.ValidateCluster(6, 3); err != nil {
+		t.Fatalf("cluster validation rejected an enabled failover policy: %v", err)
+	}
+	// A disabled (oracle, no-buffer) policy is harmless on a single fleet.
+	z := New("zero").WithFailover(FailoverPolicy{})
+	if err := z.Validate(6); err != nil {
+		t.Fatalf("single-fleet validation rejected a disabled failover policy: %v", err)
+	}
+}
+
+func TestFailoverString(t *testing.T) {
+	var nilP *FailoverPolicy
+	if got := nilP.String(); got != "failover=oracle" {
+		t.Errorf("nil String() = %q", got)
+	}
+	p := &FailoverPolicy{GateBuffer: 16, Shed: ShedDropOldest}
+	if got := p.String(); !strings.Contains(got, "buffer 16") || !strings.Contains(got, "drop-oldest") {
+		t.Errorf("oracle-buffer String() = %q", got)
+	}
+	h := &FailoverPolicy{Kind: FailoverHeartbeat, HeartbeatEvery: 40, SuspectAfter: 3}
+	if got := h.String(); !strings.Contains(got, "heartbeat") || !strings.Contains(got, "40×3") {
+		t.Errorf("heartbeat String() = %q", got)
+	}
+}

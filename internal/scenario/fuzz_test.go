@@ -34,6 +34,15 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"belief":{"kind":"online","refresh":-1}}`)
 	f.Add(`{"belief":{"kind":"frozen","min_samples":5}}`)
 	f.Add(`{"belief":{"kind":"psychic"}}`)
+	f.Add(`{"failover":{"kind":"oracle"}}`)
+	f.Add(`{"failover":{"kind":"oracle","gate_buffer":16,"shed":"drop-oldest"}}`)
+	f.Add(`{"failover":{"kind":"heartbeat","heartbeat_every":40,"suspect_after":3,"probation":60,"bounce_after":15,"max_retries":4,"retry_base":5,"retry_cap":80,"gate_buffer":32,"shed":"deadline-aware"},"events":[{"tick":700,"kind":"dc-fail","dc":1,"policy":"requeue"},{"tick":1400,"kind":"dc-recover","dc":1}]}`)
+	f.Add(`{"failover":{"kind":"heartbeat","heartbeat_every":-1}}`)
+	f.Add(`{"failover":{"kind":"oracle","suspect_after":2}}`)
+	f.Add(`{"failover":{"kind":"oracle","shed":"deadline-aware"}}`)
+	f.Add(`{"failover":{"kind":"heartbeat","retry_base":50,"retry_cap":10}}`)
+	f.Add(`{"failover":{"kind":"psychic"}}`)
+	f.Add(`{"failover":{"kind":"oracle","shed":"coin-flip"}}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse(strings.NewReader(src))
 		if err != nil {
@@ -79,6 +88,10 @@ func FuzzParse(f *testing.F) {
 		if (again.Belief == nil) != (s.Belief == nil) ||
 			(s.Belief != nil && *again.Belief != *s.Belief) {
 			t.Fatalf("round trip changed the belief policy: %+v vs %+v", s.Belief, again.Belief)
+		}
+		if (again.Failover == nil) != (s.Failover == nil) ||
+			(s.Failover != nil && *again.Failover != *s.Failover) {
+			t.Fatalf("round trip changed the failover policy: %+v vs %+v", s.Failover, again.Failover)
 		}
 	})
 }

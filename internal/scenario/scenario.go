@@ -177,6 +177,16 @@ type Scenario struct {
 	// that invalidate it; the simulator reads it through
 	// simulator.Config.Belief (an explicitly configured policy wins).
 	Belief *BeliefPolicy
+	// Failover, when non-nil, selects what the cluster dispatcher knows
+	// about datacenter health and how arrivals behave when that knowledge
+	// is wrong: heartbeat detection lag, post-recovery probation,
+	// bounce-and-retry for dispatches into undetected outages, and the
+	// bounded gate buffer. It rides in the wire format so a fault study
+	// declares its detection model next to the dc-fail events that stress
+	// it; the cluster engine reads it through cluster.Config.Failover (an
+	// explicitly configured policy wins). Single-fleet runs reject an
+	// enabled policy — there is no dispatcher to mis-inform.
+	Failover *FailoverPolicy
 }
 
 // New returns an empty named scenario, ready for the builder methods.
@@ -241,6 +251,13 @@ func (s *Scenario) WithBelief(p BeliefPolicy) *Scenario {
 	return s
 }
 
+// WithFailover sets the dispatcher's health-detection model. Returns s for
+// chaining.
+func (s *Scenario) WithFailover(p FailoverPolicy) *Scenario {
+	s.Failover = &p
+	return s
+}
+
 // StartDown marks machines as absent at tick 0. Returns s for chaining.
 func (s *Scenario) StartDown(machines ...int) *Scenario {
 	s.InitialDown = append(s.InitialDown, machines...)
@@ -299,6 +316,12 @@ func (s *Scenario) validate(nMachines, nDCs int) error {
 	}
 	if err := s.Belief.Validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := s.Failover.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if nDCs == 0 && s.Failover.Enabled() {
+		return fmt.Errorf("scenario %q: the failover policy is cluster-scoped; single-fleet runs have no dispatcher", s.Name)
 	}
 	down := make(map[int]bool, len(s.InitialDown))
 	for _, mi := range s.InitialDown {
@@ -427,6 +450,7 @@ type jsonScenario struct {
 	Bursts      []jsonBurst     `json:"bursts,omitempty"`
 	Checkpoint  *jsonCheckpoint `json:"checkpoint,omitempty"`
 	Belief      *jsonBelief     `json:"belief,omitempty"`
+	Failover    *jsonFailover   `json:"failover,omitempty"`
 }
 
 type jsonEvent struct {
@@ -474,6 +498,11 @@ func Parse(r io.Reader) (*Scenario, error) {
 		return nil, err
 	}
 	s.Belief = belief
+	failover, err := parseFailover(in.Failover)
+	if err != nil {
+		return nil, err
+	}
+	s.Failover = failover
 	for i, je := range in.Events {
 		e := Event{Tick: je.Tick, Machine: je.Machine}
 		switch je.Kind {
@@ -554,7 +583,7 @@ func Load(path string) (*Scenario, error) {
 // MarshalJSON implements json.Marshaler so scenarios round-trip through the
 // same wire form Parse reads.
 func (s *Scenario) MarshalJSON() ([]byte, error) {
-	out := jsonScenario{Name: s.Name, InitialDown: s.InitialDown, Checkpoint: wireCheckpoint(s.Checkpoint), Belief: wireBelief(s.Belief)}
+	out := jsonScenario{Name: s.Name, InitialDown: s.InitialDown, Checkpoint: wireCheckpoint(s.Checkpoint), Belief: wireBelief(s.Belief), Failover: wireFailover(s.Failover)}
 	for _, e := range s.Events {
 		je := jsonEvent{Tick: e.Tick, Kind: e.Kind.String(), Machine: e.Machine}
 		switch e.Kind {

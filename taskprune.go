@@ -166,6 +166,11 @@ type (
 	// times: the oracle truth, a view frozen at t=0, or an online
 	// re-estimate rebuilt from observed completions.
 	BeliefPolicy = scenario.BeliefPolicy
+	// FailoverPolicy declares how the cluster dispatcher detects
+	// whole-DC outages (oracle vs heartbeat monitoring), how bounced
+	// dispatches retry, and whether arrivals buffer at the gate while
+	// no datacenter is believed healthy.
+	FailoverPolicy = scenario.FailoverPolicy
 	// PETView is the read surface every mapping decision goes through; a
 	// *PETMatrix is the oracle view, and belief policies substitute
 	// imperfect ones.
@@ -210,6 +215,27 @@ const (
 	// completion times, at a configurable refresh cadence past a
 	// minimum-sample floor.
 	BeliefOnline = scenario.BeliefOnline
+)
+
+// Failover kinds and gate-buffer shedding policies (FailoverPolicy
+// fields).
+const (
+	// FailoverOracle detects outages instantly and perfectly (the
+	// pre-detection behavior, byte-identical to no policy at all).
+	FailoverOracle = scenario.FailoverOracle
+	// FailoverHeartbeat detects an outage only after SuspectAfter
+	// consecutive missed heartbeats; dispatches keep flowing into the
+	// dead datacenter until then.
+	FailoverHeartbeat = scenario.FailoverHeartbeat
+	// ShedDropNewest refuses the incoming task when the gate buffer
+	// overflows.
+	ShedDropNewest = scenario.ShedDropNewest
+	// ShedDropOldest evicts the buffer head when the gate buffer
+	// overflows.
+	ShedDropOldest = scenario.ShedDropOldest
+	// ShedDeadlineAware evicts the buffered task with the earliest
+	// deadline — the one least likely to survive the wait.
+	ShedDeadlineAware = scenario.ShedDeadlineAware
 )
 
 // Constructors and helpers re-exported from the internal packages.
