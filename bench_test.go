@@ -163,6 +163,31 @@ func BenchmarkSingleTrialPAM(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleTrialPAMTelemetry is BenchmarkSingleTrialPAM with a live
+// probe registry, sampler, and phase timer attached. bench_guard.sh
+// compares its allocs/op against the disabled variant in the same run and
+// fails if instrumentation costs more than 10% — the measurable half of
+// the zero-cost-when-disabled contract (the disabled half is pinned by the
+// goldens and the baseline gate on BenchmarkSingleTrialPAM itself).
+func BenchmarkSingleTrialPAMTelemetry(b *testing.B) {
+	matrix := SPECPET()
+	cfg := MustConfigFor("PAM", matrix)
+	cfg.Telemetry = &TelemetryOptions{SampleEvery: 100}
+	cfg.PhaseTimer = NewPhaseTimer()
+	for i := 0; i < b.N; i++ {
+		tasks := MustGenerateWorkload(WorkloadConfig{
+			NumTasks: 800, Rate: RateForLevel(Level34k), VarFrac: 0.10, Beta: 2.0,
+		}, matrix, NewRNG(int64(i)))
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSingleTrialChurn measures one full 800-task PAM trial under the
 // scen-fault fleet scenario (two failures with requeue, two recoveries, a
 // degradation window) so the allocation guard also pins the fleet-event

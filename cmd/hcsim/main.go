@@ -13,6 +13,9 @@
 //	hcsim -exp scen-fault           # fleet-churn fault-tolerance study
 //	hcsim -exp cluster-fault        # sharded whole-DC outage study
 //	hcsim -exp fig5 -csv fig5.csv   # also export CSV
+//	hcsim -exp single -heuristic PAM -telemetry out.csv -sample-every 50
+//	hcsim -exp single -heuristic PAM -phases
+//	hcsim -exp single -heuristic PAM -tasks 1000000 -stream -metrics-addr :9090
 //
 // Run with an unknown -exp name to list every registered experiment.
 package main
@@ -27,11 +30,11 @@ import (
 
 	"taskprune/internal/cluster"
 	"taskprune/internal/experiments"
-	"taskprune/internal/metrics"
 	"taskprune/internal/report"
 	"taskprune/internal/scenario"
 	"taskprune/internal/simulator"
 	"taskprune/internal/stats"
+	"taskprune/internal/telemetry"
 	"taskprune/internal/workload"
 )
 
@@ -110,9 +113,16 @@ func main() {
 		route     = flag.String("route", "round-robin", "dispatch policy for -dcs > 1: "+strings.Join(cluster.PolicyNames(), ", "))
 		dcpar     = flag.Bool("dcpar", false, "step the -dcs datacenters concurrently between cluster-clock barriers (byte-identical results; requires -dcs > 1)")
 		belief    = flag.String("belief", "", "mapper knowledge model for -exp single: oracle, frozen, or online (empty = the scenario's, else oracle)")
+
+		telemetryPath = flag.String("telemetry", "", "write per-shard telemetry time series to this file after an -exp single run (.json = JSON series, anything else = CSV)")
+		sampleEvery   = flag.Int64("sample-every", telemetry.DefaultSampleEvery, "simulated ticks between telemetry samples")
+		phases        = flag.Bool("phases", false, "time the scheduler phases (dispatch/admit/step/eval/convolve) during -exp single and print the breakdown")
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus text (/metrics), JSON snapshots (/metrics.json), and pprof on this address during -exp single")
 	)
 	flag.Parse()
 	validateClusterFlags(*exp, *dcs, *route)
+	tf := telemetryFlags{Path: *telemetryPath, Every: *sampleEvery, Phases: *phases, Addr: *metricsAddr}
+	validateTelemetryFlags(*exp, tf)
 
 	opts := experiments.Options{
 		Trials: *trials, Tasks: *tasks, Seed: *seed,
@@ -133,12 +143,12 @@ func main() {
 			fatal(err)
 		}
 		if *dcs > 1 {
-			if err := runCluster(opts, *heuristic, *level, sc, bp, *dcs, *route, *dcpar); err != nil {
+			if err := runCluster(opts, *heuristic, *level, sc, bp, *dcs, *route, *dcpar, tf); err != nil {
 				fatal(err)
 			}
 			return
 		}
-		if err := runSingle(opts, *heuristic, *level, sc, bp); err != nil {
+		if err := runSingle(opts, *heuristic, *level, sc, bp, tf); err != nil {
 			fatal(err)
 		}
 		return
@@ -228,6 +238,98 @@ func validateClusterFlags(exp string, dcs int, route string) {
 	}
 }
 
+// telemetryFlags bundles the observability knobs for -exp single runs.
+type telemetryFlags struct {
+	Path   string // time-series export file ("" = none)
+	Every  int64  // sampling interval in simulated ticks
+	Phases bool   // time scheduler phases and print the breakdown
+	Addr   string // live metrics address ("" = no server)
+}
+
+// enabled reports whether any probe consumer is wired up — when false the
+// simulators run with telemetry fully disabled (nil registry, no-op probes).
+func (tf telemetryFlags) enabled() bool {
+	return tf.Path != "" || tf.Phases || tf.Addr != ""
+}
+
+func (tf telemetryFlags) options() *telemetry.Options {
+	if !tf.enabled() {
+		return nil
+	}
+	return &telemetry.Options{SampleEvery: tf.Every}
+}
+
+// validateTelemetryFlags rejects observability flags outside -exp single
+// and nonsensical sampling intervals, matching validateClusterFlags'
+// fail-loudly contract.
+func validateTelemetryFlags(exp string, tf telemetryFlags) {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var stray []string
+	for _, n := range []string{"telemetry", "sample-every", "phases", "metrics-addr"} {
+		if set[n] {
+			stray = append(stray, "-"+n)
+		}
+	}
+	if exp != "single" && len(stray) > 0 {
+		fmt.Fprintf(os.Stderr, "hcsim: %s: telemetry flags apply only to -exp single (got -exp %s)\n", strings.Join(stray, ", "), exp)
+		os.Exit(1)
+	}
+	if set["sample-every"] && tf.Every <= 0 {
+		fmt.Fprintf(os.Stderr, "hcsim: -sample-every %d: the sampling interval must be a positive tick count\n", tf.Every)
+		os.Exit(1)
+	}
+	if set["sample-every"] && !tf.enabled() {
+		fmt.Fprintf(os.Stderr, "hcsim: -sample-every needs a consumer: combine it with -telemetry, -phases, or -metrics-addr\n")
+		os.Exit(1)
+	}
+}
+
+// startMetricsServer brings up the live export surface and returns the
+// server (nil when -metrics-addr is unset).
+func startMetricsServer(addr string) (*telemetry.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv := telemetry.NewServer()
+	bound, err := srv.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("metrics: serving http://%s/metrics (+ /metrics.json, /debug/pprof) during the run\n", bound)
+	return srv, nil
+}
+
+// writeTelemetry exports the per-shard time series, choosing the format by
+// file extension (.json = JSON, anything else = CSV).
+func writeTelemetry(path string, samplers []telemetry.ScopedSampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = telemetry.WriteSamplersJSON(f, samplers)
+	} else {
+		err = telemetry.WriteSamplersCSV(f, samplers)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry written to %s (%d shards)\n", path, len(samplers))
+	return nil
+}
+
+// printPhases renders the merged phase-timer breakdown.
+func printPhases(pt *telemetry.PhaseTimer) {
+	if pt == nil {
+		return
+	}
+	if err := pt.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
 func tablesFor(name string, fig *experiments.Figure) []*report.Table {
 	switch name {
 	case "fig6":
@@ -278,7 +380,7 @@ func singleSource(opts experiments.Options, level float64, sc *scenario.Scenario
 // runSingle executes one trial of one heuristic (optionally under a fleet
 // scenario) and prints its statistics — the quickest way to poke at the
 // system.
-func runSingle(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy) error {
+func runSingle(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy, tf telemetryFlags) error {
 	matrix := experiments.SPECPET()
 	cfg, err := simulator.ConfigFor(name, matrix)
 	if err != nil {
@@ -286,6 +388,10 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 	}
 	cfg.Scenario = sc
 	cfg.Belief = bp
+	cfg.Telemetry = tf.options()
+	if tf.Phases {
+		cfg.PhaseTimer = telemetry.NewPhaseTimer()
+	}
 	src, err := singleSource(opts, level, sc)
 	if err != nil {
 		return err
@@ -293,6 +399,18 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 	sim, err := simulator.New(cfg)
 	if err != nil {
 		return err
+	}
+	srv, err := startMetricsServer(tf.Addr)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		// The single-fleet engine runs on this goroutine, so publishing a
+		// snapshot from the sample hook is safe: the handlers only ever
+		// read the last published copy.
+		sim.TelemetrySampler().OnSample = func(int64) {
+			srv.Publish("sim", sim.Telemetry().Snapshot())
+		}
 	}
 	start := time.Now()
 	st, err := sim.RunSource(src)
@@ -323,13 +441,22 @@ func runSingle(opts experiments.Options, name string, level float64, sc *scenari
 		fmt.Printf("%s: %d completions observed, %d belief refreshes\n",
 			p, sim.BeliefObservations(), sim.BeliefRefreshes())
 	}
+	if srv != nil {
+		srv.Publish("sim", sim.Telemetry().Snapshot())
+	}
+	if tf.Path != "" {
+		if err := writeTelemetry(tf.Path, []telemetry.ScopedSampler{{Scope: "sim", S: sim.TelemetrySampler()}}); err != nil {
+			return err
+		}
+	}
+	printPhases(cfg.PhaseTimer)
 	return nil
 }
 
 // runCluster executes one sharded trial — one workload stream fanned out
 // across -dcs datacenters through the chosen dispatch policy — and prints
 // the cluster aggregate plus a per-datacenter breakdown.
-func runCluster(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy, dcs int, route string, dcpar bool) error {
+func runCluster(opts experiments.Options, name string, level float64, sc *scenario.Scenario, bp *scenario.BeliefPolicy, dcs int, route string, dcpar bool, tf telemetryFlags) error {
 	matrix := experiments.SPECPET()
 	simCfg, err := simulator.ConfigFor(name, matrix)
 	if err != nil {
@@ -341,13 +468,31 @@ func runCluster(opts experiments.Options, name string, level float64, sc *scenar
 	if err != nil {
 		return err
 	}
-	eng, err := cluster.New(cluster.Config{DCs: dcs, Policy: policy, Parallel: dcpar, Sim: simCfg})
+	// Cluster runs always carry telemetry: the gate summary below is
+	// rendered straight from the engine's probe registry.
+	eng, err := cluster.New(cluster.Config{
+		DCs: dcs, Policy: policy, Parallel: dcpar, Sim: simCfg,
+		Telemetry: &telemetry.Options{SampleEvery: tf.Every},
+		Phases:    tf.Phases,
+	})
 	if err != nil {
 		return err
 	}
 	src, err := singleSource(opts, level, sc)
 	if err != nil {
 		return err
+	}
+	srv, err := startMetricsServer(tf.Addr)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		// Only the engine's own shard is published live: the per-DC shards
+		// belong to worker goroutines under -dcpar and are readable only
+		// after the final barrier (RunSource returning).
+		eng.TelemetrySampler().OnSample = func(int64) {
+			srv.Publish("cluster", eng.Telemetry().Snapshot())
+		}
 	}
 	start := time.Now()
 	st, perDC, err := eng.RunSource(src)
@@ -365,24 +510,27 @@ func runCluster(opts experiments.Options, name string, level float64, sc *scenar
 			d, dc.Machines(), s.Total, s.RobustnessPct, dc.Sim().Requeued(), lostByDC[d])
 	}
 	if sc != nil {
-		g := eng.Gate()
-		fmt.Printf("scenario %q: %d events; gate: %d dropped, %d shed, %d lost undetected\n",
-			sc.Name, len(sc.Events), g.Dropped, g.Shed, g.LostUndetected)
+		fmt.Printf("scenario %q: %d fleet events\n", sc.Name, len(sc.Events))
 		if fo := eng.Failover(); fo.Enabled() {
-			fmt.Printf("%s: %d buffered (max depth %d), %d bounced, %d retries, %d detections (mean lag %.1f ticks)\n",
-				fo, g.Buffered, g.MaxQueueDepth, g.Bounced, g.Retries, g.Detections, meanLag(g))
+			// The gate's counters — buffering, bounces, retries, detections
+			// and their lag — live in the engine's telemetry shard; render
+			// them from there instead of duplicating the arithmetic here.
+			fmt.Printf("%s:\n", fo)
+			if err := telemetry.WriteText(os.Stdout, telemetry.Shard{Scope: "gate", Snap: eng.Telemetry().Snapshot()}); err != nil {
+				return err
+			}
 		}
 	}
-	return nil
-}
-
-// meanLag averages the health monitor's detection delay over the outages
-// it actually flagged (0 when none were).
-func meanLag(g metrics.GateStats) float64 {
-	if g.Detections == 0 {
-		return 0
+	for _, sh := range eng.TelemetryShards() {
+		srv.Publish(sh.Scope, sh.Snap)
 	}
-	return float64(g.DetectionLagTicks) / float64(g.Detections)
+	if tf.Path != "" {
+		if err := writeTelemetry(tf.Path, eng.TelemetrySamplers()); err != nil {
+			return err
+		}
+	}
+	printPhases(eng.Phases())
+	return nil
 }
 
 func writeCSV(path string, tables []*report.Table) error {

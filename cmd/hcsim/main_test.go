@@ -1,0 +1,58 @@
+package main
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestRegisteredNamesSorted pins the unknown -exp listing contract: every
+// registered experiment plus the special modes, in sorted order, with no
+// duplicates — so the help output stays scannable as experiments accrue.
+func TestRegisteredNamesSorted(t *testing.T) {
+	names := registeredNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("registered names not sorted: %v", names)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate registered name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, e := range experimentOrder {
+		if !seen[e.name] {
+			t.Fatalf("experiment %q missing from the listing", e.name)
+		}
+	}
+	for _, special := range []string{"single", "all"} {
+		if !seen[special] {
+			t.Fatalf("special mode %q missing from the listing", special)
+		}
+	}
+	if len(names) != len(experimentOrder)+2 {
+		t.Fatalf("listing has %d names, want %d experiments + 2 special modes", len(names), len(experimentOrder))
+	}
+}
+
+// TestTelemetryFlagsOptions: no consumer → nil options → telemetry stays
+// disabled (the zero-cost default); any consumer → options with the chosen
+// interval.
+func TestTelemetryFlagsOptions(t *testing.T) {
+	if (telemetryFlags{Every: 100}).options() != nil {
+		t.Fatal("options non-nil with no telemetry consumer")
+	}
+	for _, tf := range []telemetryFlags{
+		{Path: "out.csv", Every: 50},
+		{Phases: true, Every: 50},
+		{Addr: ":0", Every: 50},
+	} {
+		opts := tf.options()
+		if opts == nil || opts.SampleEvery != 50 {
+			t.Fatalf("options for %+v = %+v", tf, opts)
+		}
+	}
+	if (telemetryFlags{}).options() != nil {
+		t.Fatal("zero flags yielded options")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"taskprune/internal/scenario"
 	"taskprune/internal/simulator"
 	"taskprune/internal/task"
+	"taskprune/internal/telemetry"
 	"taskprune/internal/trace"
 	"taskprune/internal/workload"
 )
@@ -70,6 +71,17 @@ type Config struct {
 	// only trades goroutines for wall-clock. See parallel.go for the
 	// barrier/merge semantics.
 	Parallel bool
+	// Telemetry, when non-nil, enables probe registries and tick-driven
+	// samplers: one shard for the engine (gate and health metrics) and one
+	// per datacenter simulator. Shards are goroutine-owned and merged only
+	// at barriers, so parallel stepping stays race-free and byte-identical
+	// to sequential; nil is the zero-cost disabled state.
+	Telemetry *telemetry.Options
+	// Phases, when true, attributes wall time to dispatch/admit/step/eval/
+	// convolve spans (one timer per shard, merged by Engine.Phases). The
+	// simulator template's PhaseTimer must stay nil — the engine builds
+	// per-DC timers itself so parallel workers never share one.
+	Phases bool
 }
 
 // DC is one datacenter: a fleet partition running the single-DC simulator
@@ -185,6 +197,15 @@ type Engine struct {
 	buf       []*task.Task
 	gateStats metrics.GateStats
 	lostByDC  []int
+
+	// Telemetry: the engine's own shard (tel/sampler/pr), the engine's
+	// dispatch-phase timer, and the per-DC timers it merges at the end.
+	tel          *telemetry.Registry
+	sampler      *telemetry.Sampler
+	pr           engineProbes
+	lastArrivals int64
+	phases       *telemetry.PhaseTimer
+	dcPhases     []*telemetry.PhaseTimer
 }
 
 // New validates cfg, partitions the fleet, and builds the per-datacenter
@@ -206,6 +227,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Sim.Trace != nil {
 		return nil, fmt.Errorf("cluster: set per-DC recorders via Traces, not the simulator template")
+	}
+	if cfg.Sim.Telemetry != nil {
+		return nil, fmt.Errorf("cluster: set telemetry via Config.Telemetry, not the simulator template")
+	}
+	if cfg.Sim.PhaseTimer != nil {
+		return nil, fmt.Errorf("cluster: set phase timing via Config.Phases, not the simulator template (parallel workers must not share a timer)")
 	}
 	if cfg.Traces != nil && len(cfg.Traces) != cfg.DCs {
 		return nil, fmt.Errorf("cluster: %d trace recorders for %d datacenters", len(cfg.Traces), cfg.DCs)
@@ -251,6 +278,15 @@ func New(cfg Config) (*Engine, error) {
 		fo:     fo,
 		epochs: make([]int, cfg.DCs), lostByDC: make([]int, cfg.DCs),
 	}
+	if cfg.Telemetry != nil {
+		e.tel = telemetry.NewRegistry()
+		e.pr = newEngineProbes(e.tel, cfg.DCs)
+		e.sampler = telemetry.NewSampler(e.tel, cfg.Telemetry)
+		e.sampler.Prepare = e.prepareSample
+	}
+	if cfg.Phases {
+		e.phases = telemetry.NewPhaseTimer()
+	}
 	for d := 0; d < cfg.DCs; d++ {
 		lo, hi := blockBounds(d, nm, cfg.DCs)
 		cols := make([]int, 0, hi-lo)
@@ -262,6 +298,12 @@ func New(cfg Config) (*Engine, error) {
 		cfgd.Scenario = perDC[d]
 		cfgd.Checkpoint = ckpt
 		cfgd.Belief = bp
+		cfgd.Telemetry = cfg.Telemetry
+		if cfg.Phases {
+			pt := telemetry.NewPhaseTimer()
+			e.dcPhases = append(e.dcPhases, pt)
+			cfgd.PhaseTimer = pt
+		}
 		if cfg.Traces != nil {
 			cfgd.Trace = cfg.Traces[d]
 		}
@@ -377,6 +419,17 @@ func (e *Engine) RunSource(src workload.Source) (metrics.TrialStats, []metrics.T
 	// The drivers return with every arrival and event consumed; anything
 	// still waiting in the gate buffer has nowhere left to go.
 	e.flushGateBuffer()
+	// Flush the engine shard at the cluster-wide end of simulated time.
+	// The sequential driver advances e.now on per-DC events while the
+	// parallel drivers leave those to the workers, so e.now alone is
+	// driver-dependent; the max over the datacenters' clocks is not.
+	end := e.now
+	for _, d := range e.dcs {
+		if t := d.sim.Now(); t > end {
+			end = t
+		}
+	}
+	e.sampler.Flush(end)
 	perDC := make([]metrics.TrialStats, len(e.dcs))
 	total := 0.0
 	for i, d := range e.dcs {
@@ -487,7 +540,16 @@ func (e *Engine) pick(now int64, t *task.Task) (int, error) {
 	return d, nil
 }
 
-// stepClusterEvent fires the next dc-fail/dc-recover — a ground-truth
+// stepClusterEvent fires the next dc-fail/dc-recover and ticks the
+// engine's telemetry shard — every driver calls it with workers quiescent
+// at e.now, so the shard sequence is identical across drivers.
+func (e *Engine) stepClusterEvent() error {
+	err := e.applyClusterEvent()
+	e.sampler.Tick(e.now)
+	return err
+}
+
+// applyClusterEvent fires the next dc-fail/dc-recover — a ground-truth
 // transition. Under the oracle failover policy the dispatcher's belief
 // moves in the same step: a dc-fail drains the datacenter through the
 // simulator's FailDC and (under the Requeue policy) re-dispatches the
@@ -495,7 +557,7 @@ func (e *Engine) pick(now int64, t *task.Task) (int, error) {
 // routing policy as arrivals. Under heartbeat detection only the truth
 // moves here; the belief follows through the gate events that
 // scheduleDetection and the recovery probation plant.
-func (e *Engine) stepClusterEvent() error {
+func (e *Engine) applyClusterEvent() error {
 	ev := e.clusterEvents[e.evPos]
 	e.evPos++
 	d := e.dcs[ev.DC]

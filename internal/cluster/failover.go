@@ -39,6 +39,7 @@ package cluster
 import (
 	"taskprune/internal/scenario"
 	"taskprune/internal/task"
+	"taskprune/internal/telemetry"
 )
 
 // gateKind classifies an engine-level gate event.
@@ -194,11 +195,19 @@ func (e *Engine) scheduleDetection(d *DC, failTick int64, drop bool) {
 	e.pushGate(gateEvent{tick: salvageAt, kind: gevSalvage, dc: d.index, tasks: drained})
 }
 
-// stepGateEvent fires the earliest gate event. The caller has already set
+// stepGateEvent fires the earliest gate event and ticks the engine's
+// telemetry shard — same quiescence contract as stepClusterEvent.
+func (e *Engine) stepGateEvent() error {
+	err := e.applyGateEvent()
+	e.sampler.Tick(e.now)
+	return err
+}
+
+// applyGateEvent fires the earliest gate event. The caller has already set
 // e.now to its tick, and — in the parallel drivers — quiesced every worker
 // at that tick, so touching the simulators directly here reproduces the
 // sequential interleave exactly.
-func (e *Engine) stepGateEvent() error {
+func (e *Engine) applyGateEvent() error {
 	ev := e.popGate()
 	switch ev.kind {
 	case gevDetect:
@@ -208,6 +217,7 @@ func (e *Engine) stepGateEvent() error {
 		e.dcs[ev.dc].healthy = false
 		e.gateStats.Detections++
 		e.gateStats.DetectionLagTicks += ev.tick - ev.failTick
+		e.pr.detectLag.Observe(float64(ev.tick - ev.failTick))
 	case gevTrust:
 		if ev.epoch != e.epochs[ev.dc] {
 			return nil
@@ -236,7 +246,23 @@ func (e *Engine) stepGateEvent() error {
 // that datacenter's simulator (drivers differ in how — direct Admit,
 // pending barrier admit, or worker channel); (_, false) means the gate
 // already consumed it (buffered, dropped, or bounced into retry limbo).
+// It also counts the arrival, times the dispatch span, and ticks the
+// engine's telemetry shard — engine-owned state only, so the wide-window
+// driver may call it while workers are mid-window.
 func (e *Engine) routeArrival(t *task.Task) (int, bool, error) {
+	t0 := e.phases.Start()
+	e.pr.arrivals.Inc()
+	d, admit, err := e.gateArrival(t)
+	if admit {
+		e.pr.admitted.Inc()
+	}
+	e.phases.Observe(telemetry.PhaseDispatch, t0)
+	e.sampler.Tick(e.now)
+	return d, admit, err
+}
+
+// gateArrival is routeArrival's routing decision proper.
+func (e *Engine) gateArrival(t *task.Task) (int, bool, error) {
 	e.now = t.Arrival
 	if !e.anyHealthy() {
 		e.record(Dispatch{Tick: t.Arrival, TaskID: t.ID, DC: -1})
@@ -283,6 +309,7 @@ func (e *Engine) routeInjected(t *task.Task, now int64, attempt int, failover bo
 		e.bounceDispatch(t, d, attempt+1, now)
 		return nil
 	}
+	e.pr.injected.Inc()
 	e.dcs[d].sim.InjectRequeued(t, now)
 	return nil
 }
@@ -310,6 +337,7 @@ func (e *Engine) routeDrained(from *DC, t *task.Task, now int64) error {
 		e.bounceDispatch(t, to, 1, now)
 		return nil
 	}
+	e.pr.injected.Inc()
 	e.dcs[to].sim.InjectRequeued(t, now)
 	return nil
 }

@@ -211,6 +211,12 @@ type EvalCache struct {
 	evals map[int]*taskEval
 	free  []*taskEval // recycled taskEval records
 
+	// hits/misses count phase-one evaluation lookups served from (or
+	// missing) the cache — plain counters the telemetry sampler mirrors at
+	// sample boundaries, so the hot path stays free of probe handles.
+	hits   int64
+	misses int64
+
 	// Scratch reused by the mapping loops.
 	ready     []float64 // scalarState expected-ready times
 	pairs     []pamPair
@@ -268,6 +274,22 @@ type tailMemo struct {
 // it is not safe for concurrent use — give each simulator its own.
 func NewEvalCache() *EvalCache {
 	return &EvalCache{evals: make(map[int]*taskEval), deferred: make(map[int]bool)}
+}
+
+// Hits returns how many phase-one evaluations were served from the cache.
+func (c *EvalCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits
+}
+
+// Misses returns how many phase-one evaluations had to be computed.
+func (c *EvalCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses
 }
 
 // Forget drops any cached evaluations for the given task ID, recycling the
@@ -498,8 +520,10 @@ func (s *probState) evaluate(ctx *Context, t *task.Task, mi int) fastEval {
 	te := s.cache.row(t.ID, len(ctx.Machines))
 	stamp := s.cache.stamps[mi]
 	if te.has[mi] && te.ver[mi] == stamp {
+		s.cache.hits++
 		return te.res[mi]
 	}
+	s.cache.misses++
 	r := s.compute(ctx, t, mi)
 	te.res[mi], te.ver[mi], te.has[mi] = r, stamp, true
 	return r

@@ -1,0 +1,27 @@
+package metrics
+
+import "testing"
+
+// TestEngineExits: the three loss counters — and only those — make up the
+// gate-level exits; tasks that bounced, buffered, or retried but still
+// reached a datacenter don't count.
+func TestEngineExits(t *testing.T) {
+	g := GateStats{
+		Dropped:        3,
+		Shed:           5,
+		LostUndetected: 7,
+		// Non-exit activity must not leak into the sum.
+		Retries:           11,
+		Bounced:           13,
+		Buffered:          17,
+		MaxQueueDepth:     19,
+		Detections:        2,
+		DetectionLagTicks: 50,
+	}
+	if got := g.EngineExits(); got != 15 {
+		t.Fatalf("EngineExits = %d, want 3+5+7", got)
+	}
+	if (GateStats{}).EngineExits() != 0 {
+		t.Fatal("zero stats should have zero exits")
+	}
+}

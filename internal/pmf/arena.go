@@ -53,6 +53,11 @@ type Arena struct {
 
 	iblocks []*[]int32 // in-use offset blocks; the last one is current
 	ioff    int
+
+	// maxBlocks is the high-water mark of simultaneously held mass blocks —
+	// how deep one mapping event's convolution scratch ever got. Reset
+	// keeps it, so the trial-level peak survives for telemetry.
+	maxBlocks int
 }
 
 // NewArena returns an empty arena. Blocks are drawn lazily from a shared
@@ -69,6 +74,9 @@ func (a *Arena) Floats(n int) []float64 {
 	if len(a.blocks) == 0 || a.off+n > arenaBlockFloats {
 		a.blocks = append(a.blocks, blockPool.Get().(*[]float64))
 		a.off = 0
+		if len(a.blocks) > a.maxBlocks {
+			a.maxBlocks = len(a.blocks)
+		}
 	}
 	blk := *a.blocks[len(a.blocks)-1]
 	buf := blk[a.off : a.off+n : a.off+n]
@@ -148,6 +156,16 @@ func (a *Arena) Clone(p *PMF) *PMF {
 	q.probs = a.Floats(len(p.probs))
 	copy(q.probs, p.probs)
 	return q
+}
+
+// HighWater returns the peak number of mass blocks the arena ever held at
+// once (512 KiB each) — a measure of the deepest convolution scratch any
+// mapping event needed. Nil-safe; Reset does not clear it.
+func (a *Arena) HighWater() int {
+	if a == nil {
+		return 0
+	}
+	return a.maxBlocks
 }
 
 // Reset reclaims every buffer and header handed out since the previous

@@ -18,6 +18,7 @@ import (
 	"taskprune/internal/pruner"
 	"taskprune/internal/scenario"
 	"taskprune/internal/task"
+	"taskprune/internal/telemetry"
 	"taskprune/internal/trace"
 	"taskprune/internal/workload"
 )
@@ -127,6 +128,17 @@ type Config struct {
 	// deliberately wrong prior for convergence studies. Nil means the
 	// mapper's initial knowledge is the truth as of t=0 (Config.PET).
 	BeliefPrior *pet.Matrix
+	// Telemetry, when non-nil, enables the probe registry and the
+	// tick-driven time-series sampler for this simulator. Nil is the
+	// zero-cost disabled state: every probe handle is nil, so the hot path
+	// runs identical instructions with no allocations and no behavior
+	// change (goldens and allocation baselines are unaffected).
+	Telemetry *telemetry.Options
+	// PhaseTimer, when non-nil, attributes wall time to the admit / step /
+	// eval / convolve spans of every event this simulator processes. The
+	// timer is caller-owned (merge shard timers at barriers); nil disables
+	// timing entirely.
+	PhaseTimer *telemetry.PhaseTimer
 }
 
 // ConfigFor returns the evaluation configuration the paper uses for the
@@ -229,6 +241,15 @@ type Simulator struct {
 	view   pet.View
 	belief *scenario.BeliefPolicy
 	online *pet.OnlineBelief
+
+	// tel/sampler/pr are the telemetry shard this simulator owns (nil
+	// registry → nil handles → no-ops); phases is the caller-owned wall
+	// time attributor; lastArrivals backs the arrival-rate gauge.
+	tel          *telemetry.Registry
+	sampler      *telemetry.Sampler
+	phases       *telemetry.PhaseTimer
+	pr           simProbes
+	lastArrivals int64
 
 	now              int64
 	missedSinceEvent int
@@ -368,6 +389,13 @@ func New(cfg Config) (*Simulator, error) {
 			s.fairness = pruner.NewFairnessTracker(cfg.PET.NumTypes(), cfg.FairnessFactor)
 		}
 	}
+	if cfg.Telemetry != nil {
+		s.tel = telemetry.NewRegistry()
+		s.pr = newSimProbes(s.tel)
+		s.sampler = telemetry.NewSampler(s.tel, cfg.Telemetry)
+		s.sampler.Prepare = s.prepareSample
+	}
+	s.phases = cfg.PhaseTimer
 	return s, nil
 }
 
@@ -493,9 +521,12 @@ func (s *Simulator) Admit(t *task.Task) error {
 	if t.Arrival < s.now {
 		return fmt.Errorf("simulator: source emitted task %d arriving at %d after the clock reached %d", t.ID, t.Arrival, s.now)
 	}
+	t0 := s.phases.Start()
 	s.now = t.Arrival
 	s.batch = append(s.batch, t)
 	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: trace.TaskArrived, TaskID: t.ID, Machine: -1})
+	s.pr.arrivals.Inc()
+	s.phases.Observe(telemetry.PhaseAdmit, t0)
 	s.afterEvent()
 	return nil
 }
@@ -509,24 +540,32 @@ func (s *Simulator) StepEvent() {
 	if !ok {
 		return
 	}
+	t0 := s.phases.Start()
 	s.now = e.Tick
 	switch e.Kind {
 	case eventq.Completion:
 		if !s.handleCompletion(e) {
+			s.phases.Observe(telemetry.PhaseStep, t0)
 			return // stale completion for an already-dropped task
 		}
 	case eventq.Fleet:
 		s.handleFleetEvent(s.fleetEvents[e.TaskID])
 	}
+	s.phases.Observe(telemetry.PhaseStep, t0)
 	s.afterEvent()
 }
 
 // afterEvent is the post-step every admitted arrival and handled event
 // triggers: expired tasks drop, the heuristic re-maps, idle machines start.
 func (s *Simulator) afterEvent() {
+	t0 := s.phases.Start()
 	s.dropExpired()
+	s.phases.Observe(telemetry.PhaseOther, t0)
 	s.mappingEvent()
+	t1 := s.phases.Start()
 	s.startIdleMachines()
+	s.phases.Observe(telemetry.PhaseOther, t1)
+	s.sampler.Tick(s.now)
 }
 
 // Finalize flushes every task still in the system, bills machine busy
@@ -534,6 +573,7 @@ func (s *Simulator) afterEvent() {
 // RunSource calls it itself.
 func (s *Simulator) Finalize() metrics.TrialStats {
 	s.flushUnfinished()
+	s.sampler.Flush(s.now)
 	totalCost := 0.0
 	if s.cfg.Prices != nil {
 		busy := make([]int64, len(s.machines))
@@ -875,12 +915,18 @@ func (s *Simulator) exitTask(t *task.Task, st task.State) {
 	}
 	var kind trace.Kind
 	switch st {
-	case task.StateCompleted, task.StateApprox:
+	case task.StateCompleted:
 		kind = trace.TaskCompleted
+		s.pr.completed.Inc()
+	case task.StateApprox:
+		kind = trace.TaskCompleted
+		s.pr.approx.Inc()
 	case task.StateMissed:
 		kind = trace.TaskMissed
+		s.pr.missed.Inc()
 	default:
 		kind = trace.TaskDropped
+		s.pr.dropped.Inc()
 	}
 	s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: kind, TaskID: t.ID, Machine: t.Machine})
 	s.evalCache.Forget(t.ID)
@@ -927,6 +973,8 @@ func (s *Simulator) dropExpired() {
 // the mapping heuristic.
 func (s *Simulator) mappingEvent() {
 	s.mappingEvents++
+	s.pr.mappingEvents.Inc()
+	s.pr.batchSize.Observe(float64(len(s.batch)))
 	// Everything PMF-shaped built during this event — pruning chains, queue
 	// tails, mapping evaluations — lives in the arena and dies here.
 	s.arena.Reset()
@@ -942,7 +990,9 @@ func (s *Simulator) mappingEvent() {
 			s.cfg.Trace.Record(trace.Event{Tick: s.now, Kind: kind, TaskID: -1, Machine: -1, Value: s.pruner.Level()})
 		}
 		if dropping {
+			tc := s.phases.Start()
 			s.pruneQueues()
+			s.phases.Observe(telemetry.PhaseConvolve, tc)
 		}
 	} else {
 		s.missedSinceEvent = 0
@@ -959,6 +1009,7 @@ func (s *Simulator) mappingEvent() {
 		Cache:       s.evalCache,
 		NaiveEval:   s.cfg.NaiveEval,
 	}
+	te := s.phases.Start()
 	res := s.cfg.Heuristic.Map(&s.ctx, s.batch)
 	if s.cfg.Trace != nil {
 		for _, t := range res.Assigned {
@@ -988,6 +1039,7 @@ func (s *Simulator) mappingEvent() {
 			s.exitTask(t, task.StateDropped)
 		}
 	}
+	s.phases.Observe(telemetry.PhaseEval, te)
 }
 
 // pruneQueues walks every machine queue head-to-tail, dropping tasks whose

@@ -1,0 +1,108 @@
+package simulator
+
+import (
+	"bytes"
+	"testing"
+
+	"taskprune/internal/stats"
+	"taskprune/internal/telemetry"
+	"taskprune/internal/workload"
+)
+
+// TestTelemetryProbesPopulated runs a full PAM trial with telemetry and
+// phase timing on and checks that every probe family carries data and the
+// event-path counters reconcile with the trial statistics.
+func TestTelemetryProbesPopulated(t *testing.T) {
+	matrix := simPET(t)
+	cfg := baseConfig(t, "PAM", matrix)
+	cfg.Telemetry = &telemetry.Options{SampleEvery: 50, RingCap: 128}
+	cfg.PhaseTimer = telemetry.NewPhaseTimer()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := workload.Generate(workload.Config{NumTasks: 300, Rate: 0.5, VarFrac: 0.1, Beta: 1.5}, matrix, stats.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := sim.Telemetry().Snapshot()
+	vals := map[string]float64{}
+	for _, s := range snap.Scalars {
+		vals[s.Name] = s.Value
+	}
+	if vals["arrivals_total"] != float64(st.Total) {
+		t.Errorf("arrivals_total = %v, want %d", vals["arrivals_total"], st.Total)
+	}
+	// Exit counters cover every task (TrialStats windows its counts), so
+	// they must reconcile with arrivals, not with the windowed stats.
+	exits := vals["completed_total"] + vals["missed_total"] + vals["dropped_total"] + vals["approx_total"]
+	if exits != vals["arrivals_total"] {
+		t.Errorf("exit counters sum to %v, want arrivals %v", exits, vals["arrivals_total"])
+	}
+	if vals["completed_total"] == 0 || vals["dropped_total"] == 0 {
+		t.Errorf("oversubscribed PAM trial should both complete and drop tasks: %v", vals)
+	}
+	if vals["mapping_events_total"] == 0 {
+		t.Error("no mapping events counted")
+	}
+	if vals["pruner_drops_total"] == 0 {
+		t.Error("pruner drops not mirrored (PAM at 7x load must prune)")
+	}
+	if vals["eval_cache_hits_total"]+vals["eval_cache_misses_total"] == 0 {
+		t.Error("eval-cache mirrors empty")
+	}
+	if vals["arena_blocks_highwater"] == 0 {
+		t.Error("arena high-water gauge empty")
+	}
+	var batch *telemetry.HistValue
+	for i := range snap.Hists {
+		if snap.Hists[i].Name == "mapping_batch_size" {
+			batch = &snap.Hists[i]
+		}
+	}
+	if batch == nil || batch.Count != int64(vals["mapping_events_total"]) {
+		t.Errorf("batch-size histogram count does not match mapping events")
+	}
+
+	s := sim.TelemetrySampler()
+	if s.Len() == 0 {
+		t.Fatal("sampler recorded no rows")
+	}
+	last := s.Row(s.Len() - 1)
+	if last[0] != float64(sim.Now()) {
+		t.Errorf("final row flushed at %v, want sim clock %d", last[0], sim.Now())
+	}
+	var csv bytes.Buffer
+	if err := telemetry.WriteSamplersCSV(&csv, []telemetry.ScopedSampler{{Scope: "sim", S: s}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(csv.Bytes(), []byte("robustness_pct")) {
+		t.Fatalf("CSV missing robustness column:\n%s", csv.Bytes())
+	}
+
+	bd := cfg.PhaseTimer.Breakdown()
+	for _, p := range []telemetry.Phase{telemetry.PhaseAdmit, telemetry.PhaseStep, telemetry.PhaseEval, telemetry.PhaseConvolve, telemetry.PhaseOther} {
+		if bd[p].Count == 0 {
+			t.Errorf("phase %s recorded no spans", p)
+		}
+	}
+}
+
+// TestTelemetryDisabledIsInert: with no Options the simulator hands out nil
+// telemetry handles and a trial behaves identically (the goldens pin the
+// byte-level contract; this pins the accessor surface).
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	matrix := simPET(t)
+	sim, err := New(baseConfig(t, "PAM", matrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Telemetry() != nil || sim.TelemetrySampler() != nil {
+		t.Fatal("telemetry handles non-nil with telemetry disabled")
+	}
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Shard pairs a snapshot with the scope label it is exported under
+// ("sim" for a single fleet, "cluster" for the engine, "dc0".."dcN" for
+// per-DC simulator shards).
+type Shard struct {
+	Scope string
+	Snap  Snapshot
+}
+
+// promFloat renders a float the way Prometheus text format expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the shards in Prometheus text exposition format.
+// Metric names are prefixed "hcsim_" and shards are distinguished by a
+// scope label, so the same probe catalog exported from many shards stays
+// one metric family per name.
+func WritePrometheus(w io.Writer, shards ...Shard) error {
+	seen := map[string]bool{}
+	header := func(name, help, typ string) error {
+		if seen[name] {
+			return nil
+		}
+		seen[name] = true
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		return err
+	}
+	for _, sh := range shards {
+		for _, s := range sh.Snap.Scalars {
+			name := "hcsim_" + s.Name
+			if err := header(name, s.Help, s.Kind.String()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s{scope=%q} %s\n", name, sh.Scope, promFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sh := range shards {
+		for _, h := range sh.Snap.Hists {
+			name := "hcsim_" + h.Name
+			if err := header(name, h.Help, "histogram"); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = promFloat(h.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{scope=%q,le=%q} %d\n", name, sh.Scope, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{scope=%q} %s\n%s_count{scope=%q} %d\n",
+				name, sh.Scope, promFloat(h.Sum), name, sh.Scope, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type jsonHist struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+type jsonScope struct {
+	Counters   map[string]float64  `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]jsonHist `json:"histograms"`
+}
+
+// WriteJSON renders the shards as one JSON object keyed by scope; map keys
+// are emitted sorted by encoding/json, so the output is deterministic.
+func WriteJSON(w io.Writer, shards ...Shard) error {
+	out := make(map[string]jsonScope, len(shards))
+	for _, sh := range shards {
+		sc := jsonScope{
+			Counters:   map[string]float64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]jsonHist{},
+		}
+		for _, s := range sh.Snap.Scalars {
+			if s.Kind == KindCounter {
+				sc.Counters[s.Name] = s.Value
+			} else {
+				sc.Gauges[s.Name] = s.Value
+			}
+		}
+		for _, h := range sh.Snap.Hists {
+			sc.Histograms[h.Name] = jsonHist{Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum, Count: h.Count}
+		}
+		out[sh.Scope] = sc
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteText renders the shards as a plain indented listing (scalar name
+// and value per line) for human-readable run summaries.
+func WriteText(w io.Writer, shards ...Shard) error {
+	for _, sh := range shards {
+		if _, err := fmt.Fprintf(w, "%s:\n", sh.Scope); err != nil {
+			return err
+		}
+		for _, s := range sh.Snap.Scalars {
+			if _, err := fmt.Fprintf(w, "  %-28s %s\n", s.Name, trimFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// trimFloat renders integral values without a decimal point.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// ScopedSampler pairs a sampler with its export scope for time-series
+// rendering.
+type ScopedSampler struct {
+	Scope string
+	S     *Sampler
+}
+
+// WriteSamplersCSV renders each sampler's retained rows as one CSV block:
+// a "# telemetry scope=<scope> every=<N>" comment line, a header row, and
+// one row per sample. Nil or empty samplers are skipped. Values render
+// integers without a decimal point, so counters stay readable.
+func WriteSamplersCSV(w io.Writer, samplers []ScopedSampler) error {
+	for _, sc := range samplers {
+		if sc.S.Len() == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# telemetry scope=%s every=%d evicted=%d\n", sc.Scope, sc.S.Every(), sc.S.Evicted()); err != nil {
+			return err
+		}
+		cols := sc.S.Columns()
+		for i, c := range cols {
+			sep := ","
+			if i == len(cols)-1 {
+				sep = "\n"
+			}
+			if _, err := io.WriteString(w, c+sep); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < sc.S.Len(); i++ {
+			row := sc.S.Row(i)
+			for j, v := range row {
+				sep := ","
+				if j == len(row)-1 {
+					sep = "\n"
+				}
+				if _, err := io.WriteString(w, trimFloat(v)+sep); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type jsonSeries struct {
+	Every   int64       `json:"every"`
+	Evicted int64       `json:"evicted"`
+	Columns []string    `json:"columns"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+// WriteSamplersJSON renders the samplers' retained rows as one JSON object
+// keyed by scope.
+func WriteSamplersJSON(w io.Writer, samplers []ScopedSampler) error {
+	out := make(map[string]jsonSeries, len(samplers))
+	for _, sc := range samplers {
+		if sc.S.Len() == 0 {
+			continue
+		}
+		rows := make([][]float64, sc.S.Len())
+		for i := range rows {
+			rows[i] = sc.S.Row(i)
+		}
+		out[sc.Scope] = jsonSeries{Every: sc.S.Every(), Evicted: sc.S.Evicted(), Columns: sc.S.Columns(), Rows: rows}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the HTTP export surface. The hot path never shares state with
+// HTTP handlers: shard owners Publish self-contained snapshots at sample
+// boundaries (or barriers), and handlers render the last published copy
+// under a mutex. /metrics serves Prometheus text format, /metrics.json the
+// JSON snapshot, and net/http/pprof is mounted under /debug/pprof/.
+type Server struct {
+	mu     sync.Mutex
+	shards map[string]Snapshot
+	order  []string
+}
+
+// NewServer builds an empty server.
+func NewServer() *Server {
+	return &Server{shards: make(map[string]Snapshot)}
+}
+
+// Publish replaces scope's snapshot. Safe to call concurrently with
+// handlers and other publishers; first-publish order fixes export order.
+// No-op on a nil server, so callers can publish unconditionally.
+func (s *Server) Publish(scope string, snap Snapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.shards[scope]; !ok {
+		s.order = append(s.order, scope)
+	}
+	s.shards[scope] = snap
+}
+
+func (s *Server) shardList() []Shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Shard, 0, len(s.order))
+	for _, scope := range s.order {
+		out = append(out, Shard{Scope: scope, Snap: s.shards[scope]})
+	}
+	return out
+}
+
+// Handler returns the export mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, s.shardList()...)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, s.shardList()...)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the export server on addr in a background goroutine and
+// returns the bound address (useful with ":0"). The listener stays up for
+// the life of the process — hcsim runs exit when the run does, and tests
+// close over the returned address.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

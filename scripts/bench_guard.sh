@@ -89,4 +89,31 @@ for name in $names; do
 		fi
 	fi
 done
+
+# Telemetry-overhead gate: the single-trial benchmark with a live
+# registry + sampler + phase timers must stay within 1.1x of the disabled
+# variant's allocs/op, measured side by side in the same run (plus a
+# 64-alloc absolute slack for pool-refill jitter). This pins the cheap
+# half of the telemetry contract — probes are counter bumps and reused
+# sampler rows, not per-event allocations; the free-when-disabled half is
+# pinned by the baseline gate on BenchmarkSingleTrialPAM above.
+tel_out=$(go test -run xxx -bench '^BenchmarkSingleTrialPAM(Telemetry)?$' -benchtime 3x -benchmem .)
+echo "$tel_out"
+allocs_of() {
+	echo "$tel_out" | awk -v n="$1" \
+		'$1 ~ "^"n"(-[0-9]+)?$" { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }' | head -n1
+}
+off_allocs=$(allocs_of BenchmarkSingleTrialPAM)
+on_allocs=$(allocs_of BenchmarkSingleTrialPAMTelemetry)
+if [ -z "$off_allocs" ] || [ -z "$on_allocs" ]; then
+	echo "bench-guard: telemetry-overhead pair did not both run (off='${off_allocs:-}' on='${on_allocs:-}')" >&2
+	status=1
+else
+	limit=$((off_allocs * 11 / 10 + 64))
+	echo "bench-guard: telemetry allocs/op live=$on_allocs disabled=$off_allocs limit=$limit"
+	if [ "$on_allocs" -gt "$limit" ]; then
+		echo "bench-guard: live telemetry exceeds 1.1x the disabled allocs/op" >&2
+		status=1
+	fi
+fi
 exit $status

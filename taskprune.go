@@ -81,6 +81,7 @@ import (
 	"taskprune/internal/scenario"
 	"taskprune/internal/simulator"
 	"taskprune/internal/stats"
+	"taskprune/internal/telemetry"
 	"taskprune/internal/task"
 	"taskprune/internal/trace"
 	"taskprune/internal/workload"
@@ -175,6 +176,21 @@ type (
 	// *PETMatrix is the oracle view, and belief policies substitute
 	// imperfect ones.
 	PETView = pet.View
+	// TelemetryOptions enables a simulator's (or cluster's) probe
+	// registry and time-series sampler; leave the config field nil and
+	// every probe compiles down to a nil-receiver no-op.
+	TelemetryOptions = telemetry.Options
+	// TelemetryRegistry is a shard of named counters/gauges/histograms.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySampler snapshots a registry into time-series rows on the
+	// simulated clock.
+	TelemetrySampler = telemetry.Sampler
+	// PhaseTimer aggregates wall-clock spans per scheduler phase
+	// (dispatch/admit/step/eval/convolve).
+	PhaseTimer = telemetry.PhaseTimer
+	// TelemetryServer is the live HTTP export surface (Prometheus text,
+	// JSON snapshots, pprof).
+	TelemetryServer = telemetry.Server
 )
 
 // Failure policies for scenario machine failures.
@@ -321,6 +337,12 @@ var (
 	NewDispatchPolicy = cluster.NewPolicy
 	// DispatchPolicyNames lists the canonical routing-policy names.
 	DispatchPolicyNames = cluster.PolicyNames
+	// NewPhaseTimer builds a phase timer for SimConfig.PhaseTimer (or
+	// ClusterConfig.Phases-driven per-DC timers).
+	NewPhaseTimer = telemetry.NewPhaseTimer
+	// NewTelemetryServer builds the live HTTP metrics surface; publish
+	// shard snapshots into it from a sampler's OnSample hook.
+	NewTelemetryServer = telemetry.NewServer
 )
 
 // Oversubscription level labels used by the paper's figures.
