@@ -1,0 +1,20 @@
+# Static deployment image for the scheduling daemon: a scratch container
+# holding one CGO-free binary and the example fleet config. Override the
+# config by mounting your own at /etc/hcsim/fleet.json (or change the
+# entrypoint args).
+#
+#   docker build -t hcsim .
+#   docker run -p 8080:8080 hcsim
+#   docker run -p 8080:8080 -v $PWD/fleet.json:/etc/hcsim/fleet.json hcsim
+
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/hcsim ./cmd/hcsim
+
+FROM scratch
+COPY --from=build /out/hcsim /usr/bin/hcsim
+COPY --from=build /src/examples/serve/fleet.json /etc/hcsim/fleet.json
+EXPOSE 8080
+ENTRYPOINT ["/usr/bin/hcsim", "serve", "-config", "/etc/hcsim/fleet.json"]

@@ -3,6 +3,8 @@ DATE                := $(shell date +%Y%m%d)
 BENCH_BASELINE      ?= BENCH_20260808.json
 FUZZTIME            ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+DOCKER_IMAGE        ?= hcsim:dev
 # Statement-coverage floors. Each is set to (just under) the measured
 # coverage when its guard was introduced; raise a floor when coverage
 # durably improves, never lower one to make a PR pass.
@@ -12,12 +14,16 @@ STATICCHECK_VERSION ?= 2025.1.1
 #    surfaces every experiment's output flows through.
 #  - internal/telemetry: the probe/sampler/export layer whose zero-cost
 #    and determinism contracts the rest of the repo leans on.
+#  - internal/server: the daemon's admission, drain, and what-if surfaces
+#    (handler tables, backpressure, graceful-drain ordering, config
+#    validation).
 CLUSTER_COVER_FLOOR   ?= 90.0
 REPORT_COVER_FLOOR    ?= 94.0
 METRICS_COVER_FLOOR   ?= 95.0
 TELEMETRY_COVER_FLOOR ?= 88.0
+SERVER_COVER_FLOOR    ?= 84.0
 
-.PHONY: build vet test ci lint bench bench-smoke bench-guard golden golden-update fuzz-smoke race-stream race-cluster race-telemetry cover
+.PHONY: build vet test ci lint vulncheck bench bench-smoke bench-guard golden golden-update fuzz-smoke race-stream race-cluster race-telemetry race-serve cover check-tree serve-smoke docker-build
 
 build:
 	$(GO) build ./...
@@ -33,7 +39,7 @@ test:
 # restating them, so this file is the single source of truth for what green
 # means. (The lint job is separate: it downloads staticcheck, so it is not
 # part of the offline ci target.)
-ci: vet build test cover golden race-stream race-telemetry fuzz-smoke bench-smoke bench-guard
+ci: check-tree vet build test cover golden race-stream race-telemetry race-serve fuzz-smoke bench-smoke bench-guard
 
 # Per-package statement coverage, with hard floors on the gated packages:
 # the build fails if any of them drops below its floor. Other packages are
@@ -44,7 +50,8 @@ cover:
 		"taskprune/internal/cluster $(CLUSTER_COVER_FLOOR)" \
 		"taskprune/internal/report $(REPORT_COVER_FLOOR)" \
 		"taskprune/internal/metrics $(METRICS_COVER_FLOOR)" \
-		"taskprune/internal/telemetry $(TELEMETRY_COVER_FLOOR)"; do \
+		"taskprune/internal/telemetry $(TELEMETRY_COVER_FLOOR)" \
+		"taskprune/internal/server $(SERVER_COVER_FLOOR)"; do \
 		set -- $$gate; \
 		awk -v pkg=$$1 -v floor=$$2 ' \
 		$$2 == pkg { \
@@ -107,6 +114,35 @@ race-telemetry:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run xxx ./internal/scenario/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) -run xxx ./internal/workload/
+	$(GO) test -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) -run xxx ./internal/server/
+
+# Race check of the scheduling daemon: HTTP handlers hammering the bounded
+# live source and published snapshots while the pump goroutine owns the
+# engine (submission, drain ordering, what-if replays).
+race-serve:
+	$(GO) test -race ./internal/server/
+
+# Tree hygiene: no tracked compiled test binaries, no tracked >1MB blobs
+# outside testdata/ (see scripts/check_tree.sh; checktree_test.go keeps the
+# guard honest with scratch-repo negative tests).
+check-tree:
+	./scripts/check_tree.sh
+
+# End-to-end smoke of `hcsim serve`: static build, boot on a fixed port,
+# health check, batch submission, queue drain, what-if replay, metrics,
+# SIGTERM, graceful exit 0 (see scripts/serve_smoke.sh).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Static deployment image (build-only in CI; running it is the smoke
+# script's job, against the native binary).
+docker-build:
+	docker build -t $(DOCKER_IMAGE) .
+
+# Known-vulnerability scan at a pinned govulncheck version (downloads the
+# tool, so it lives in the lint job, not the offline ci target).
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # Static analysis at a pinned staticcheck version (downloads the tool on
 # first run; not part of the offline ci target for that reason).

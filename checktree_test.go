@@ -1,0 +1,92 @@
+package taskprune
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckTreeGuard exercises scripts/check_tree.sh both ways: the real
+// repository must pass, and scratch repositories that track a compiled
+// test binary or an oversized blob must fail — so the guard itself cannot
+// silently rot into a no-op.
+func TestCheckTreeGuard(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	script, err := filepath.Abs("scripts/check_tree.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(dir string) (string, error) {
+		out, err := exec.Command("sh", script, dir).CombinedOutput()
+		return string(out), err
+	}
+
+	t.Run("repo-passes", func(t *testing.T) {
+		if out, err := run("."); err != nil {
+			t.Fatalf("check_tree failed on the real repo: %v\n%s", err, out)
+		}
+	})
+
+	// scratch builds a temp git repo tracking the given files.
+	scratch := func(t *testing.T, files map[string][]byte) string {
+		t.Helper()
+		dir := t.TempDir()
+		if out, err := exec.Command("git", "-C", dir, "init", "-q").CombinedOutput(); err != nil {
+			t.Fatalf("git init: %v\n%s", err, out)
+		}
+		for name, body := range files {
+			path := filepath.Join(dir, name)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if out, err := exec.Command("git", "-C", dir, "add", "-A").CombinedOutput(); err != nil {
+			t.Fatalf("git add: %v\n%s", err, out)
+		}
+		return dir
+	}
+
+	t.Run("rejects-test-binary", func(t *testing.T) {
+		dir := scratch(t, map[string][]byte{
+			"main.go":        []byte("package main\n"),
+			"taskprune.test": []byte("\x7fELF fake compiled test binary"),
+		})
+		out, err := run(dir)
+		if err == nil {
+			t.Fatalf("tracked *.test binary passed the guard:\n%s", out)
+		}
+		if !bytes.Contains([]byte(out), []byte("taskprune.test")) {
+			t.Fatalf("failure does not name the binary:\n%s", out)
+		}
+	})
+
+	t.Run("rejects-large-blob", func(t *testing.T) {
+		dir := scratch(t, map[string][]byte{
+			"big.bin": make([]byte, 1<<20+1),
+		})
+		out, err := run(dir)
+		if err == nil {
+			t.Fatalf("tracked >1MB blob passed the guard:\n%s", out)
+		}
+		if !bytes.Contains([]byte(out), []byte("big.bin")) {
+			t.Fatalf("failure does not name the blob:\n%s", out)
+		}
+	})
+
+	t.Run("allows-large-testdata", func(t *testing.T) {
+		dir := scratch(t, map[string][]byte{
+			"pkg/testdata/golden.trace": make([]byte, 1<<20+1),
+		})
+		if out, err := run(dir); err != nil {
+			t.Fatalf("testdata blob rejected: %v\n%s", err, out)
+		}
+	})
+}

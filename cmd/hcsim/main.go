@@ -16,6 +16,7 @@
 //	hcsim -exp single -heuristic PAM -telemetry out.csv -sample-every 50
 //	hcsim -exp single -heuristic PAM -phases
 //	hcsim -exp single -heuristic PAM -tasks 1000000 -stream -metrics-addr :9090
+//	hcsim serve -config fleet.json  # long-running scheduling daemon (see serve.go)
 //
 // Run with an unknown -exp name to list every registered experiment.
 package main
@@ -95,6 +96,11 @@ func registeredNames() []string {
 }
 
 func main() {
+	// Subcommand dispatch happens before flag.Parse: `hcsim serve` has its
+	// own flag set (the experiment flags make no sense for a daemon).
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
+	}
 	var (
 		exp       = flag.String("exp", "fig7", "experiment to run (see -exp help: any unknown name lists them)")
 		trials    = flag.Int("trials", 30, "workload trials per configuration point")

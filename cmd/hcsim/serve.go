@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taskprune/internal/server"
+)
+
+// The serve subcommand: `hcsim serve -config fleet.json` boots the
+// scheduling daemon — live task submission over HTTP, the embedded status
+// page, the what-if advisor, and the telemetry export surface, all on one
+// listener. SIGTERM/SIGINT triggers a graceful drain: buffered submissions
+// are admitted and settled, the engine finalizes exactly as a batch run
+// would, and the process exits 0 with the end-of-run statistics.
+
+// serveDefaults for the subcommand's flags.
+const (
+	defaultServeAddr    = ":8080"
+	defaultDrainTimeout = 30 * time.Second
+)
+
+// serveFlags is the parsed `hcsim serve` flag set.
+type serveFlags struct {
+	Config       string        // deployment config path (required)
+	Addr         string        // API listener address
+	MetricsAddr  string        // optional dedicated metrics listener
+	DrainTimeout time.Duration // graceful-drain budget after a signal
+}
+
+// validateServeFlags rejects flag combinations the daemon could not boot
+// from, in the same fail-loudly style as the experiment-mode validators:
+// each failure names the flag, explains what it needs, and the caller
+// exits 1.
+func validateServeFlags(f serveFlags) error {
+	if f.Config == "" {
+		return fmt.Errorf("-config is required: the deployment config (fleet, heuristic, route, queue) boots the daemon\n  hcsim serve -config fleet.json [-addr %s] [-metrics-addr :9090] [-drain-timeout %v]", defaultServeAddr, defaultDrainTimeout)
+	}
+	if f.Addr == "" {
+		return fmt.Errorf("-addr must name a listen address (default %s)", defaultServeAddr)
+	}
+	if f.DrainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout %v: the graceful-drain budget must be positive", f.DrainTimeout)
+	}
+	if f.MetricsAddr != "" {
+		if _, aPort, err := net.SplitHostPort(f.Addr); err == nil {
+			if _, mPort, err := net.SplitHostPort(f.MetricsAddr); err == nil {
+				// Port 0 is the ephemeral wildcard: two :0 listeners bind two
+				// distinct ports, so only a concrete shared port conflicts.
+				if aPort == mPort && aPort != "0" {
+					return fmt.Errorf("-metrics-addr %s collides with -addr %s: the API mux already serves /metrics on its own port; a dedicated metrics listener needs a different one", f.MetricsAddr, f.Addr)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runServe is the `hcsim serve` entry point; its return value becomes the
+// process exit code.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("hcsim serve", flag.ContinueOnError)
+	cfgPath := fs.String("config", "", "deployment config file (JSON; required — see README \"Running as a service\")")
+	addr := fs.String("addr", defaultServeAddr, "API listen address (status page, /v1 API, /metrics)")
+	metricsAddr := fs.String("metrics-addr", "", "also serve /metrics, /metrics.json, and pprof on this dedicated address")
+	drainTimeout := fs.Duration("drain-timeout", defaultDrainTimeout, "graceful-drain budget after SIGTERM/SIGINT; exceeding it exits 1")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	f := serveFlags{Config: *cfgPath, Addr: *addr, MetricsAddr: *metricsAddr, DrainTimeout: *drainTimeout}
+	if err := validateServeFlags(f); err != nil {
+		fmt.Fprintln(os.Stderr, "hcsim serve:", err)
+		return 1
+	}
+	if err := serve(f); err != nil {
+		fmt.Fprintln(os.Stderr, "hcsim serve:", err)
+		return 1
+	}
+	return 0
+}
+
+// serve boots the daemon, serves until a shutdown signal, then drains.
+func serve(f serveFlags) error {
+	cfg, err := server.LoadConfig(f.Config)
+	if err != nil {
+		return err
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.Start()
+	bound, err := s.Serve(f.Addr)
+	if err != nil {
+		return err
+	}
+	name := cfg.Name
+	if name == "" {
+		name = f.Config
+	}
+	m, _ := cfg.Matrix() // validated at load
+	fmt.Printf("serve: %s — %s fleet (%d types × %d machines), %s over %d dc(s) via %s\n",
+		name, cfg.Fleet.PET, m.NumTypes(), m.NumMachines(), cfg.Heuristic, cfg.DCs, cfg.Route)
+	fmt.Printf("serve: listening on http://%s (status page /, API /v1, metrics /metrics)\n", bound)
+	if f.MetricsAddr != "" {
+		mbound, err := s.Telemetry().Serve(f.MetricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serve: metrics also on http://%s/metrics\n", mbound)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Printf("serve: shutdown signal — draining (budget %v)\n", f.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), f.DrainTimeout)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		return err
+	}
+	fin := s.Final()
+	if fin == nil {
+		return fmt.Errorf("drain finished without final statistics")
+	}
+	fmt.Printf("serve: drained — %d tasks (%d completed, %d missed, %d dropped in the %d-task window), robustness %.1f%%\n",
+		fin.Total, fin.Completed, fin.Missed, fin.Dropped, fin.Window, fin.RobustnessPct)
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateServeFlags pins the serve-mode boot contract: bad flag
+// combinations are rejected with an explanation before any listener binds.
+func TestValidateServeFlags(t *testing.T) {
+	ok := func(f serveFlags) serveFlags {
+		if f.DrainTimeout == 0 {
+			f.DrainTimeout = defaultDrainTimeout
+		}
+		return f
+	}
+	cases := []struct {
+		name string
+		f    serveFlags
+		want string // "" = valid
+	}{
+		{"valid-minimal", ok(serveFlags{Config: "fleet.json", Addr: ":8080"}), ""},
+		{"valid-split-listeners", ok(serveFlags{Config: "fleet.json", Addr: ":8080", MetricsAddr: ":9090"}), ""},
+		{"valid-ephemeral-both", ok(serveFlags{Config: "fleet.json", Addr: ":0", MetricsAddr: ":0"}), ""},
+		{"missing-config", ok(serveFlags{Addr: ":8080"}), "-config is required"},
+		{"empty-addr", ok(serveFlags{Config: "fleet.json", Addr: ""}), "-addr"},
+		{"port-conflict", ok(serveFlags{Config: "fleet.json", Addr: ":8080", MetricsAddr: ":8080"}), "collides"},
+		{"port-conflict-hosts", ok(serveFlags{Config: "fleet.json", Addr: "0.0.0.0:9090", MetricsAddr: "localhost:9090"}), "collides"},
+		{"zero-drain", serveFlags{Config: "fleet.json", Addr: ":8080", DrainTimeout: 0}, "drain-timeout"},
+		{"negative-drain", serveFlags{Config: "fleet.json", Addr: ":8080", DrainTimeout: -time.Second}, "drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateServeFlags(tc.f)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted: %+v", tc.f)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunServeBadFlags: the subcommand exits 1 (not 0, not a panic) on
+// unbootable invocations.
+func TestRunServeBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},                          // no -config
+		{"-config", ""},             // empty -config
+		{"-unknown-flag"},           // flag parse error
+		{"-config", "/nonexistent"}, // unreadable config
+		{"-config", "testdata/does-not-exist.json"},
+	}
+	for _, args := range cases {
+		if code := runServe(args); code != 1 {
+			t.Fatalf("runServe(%q) = %d, want 1", args, code)
+		}
+	}
+}

@@ -198,6 +198,12 @@ type Engine struct {
 	gateStats metrics.GateStats
 	lostByDC  []int
 
+	// Live-driving state (live.go): armed by StartLive, after which the
+	// engine is driven one submission at a time instead of by RunSource.
+	liveOn        bool
+	liveSubmitted int
+	liveArrival   int64
+
 	// Telemetry: the engine's own shard (tel/sampler/pr), the engine's
 	// dispatch-phase timer, and the per-DC timers it merges at the end.
 	tel          *telemetry.Registry
@@ -458,18 +464,8 @@ func (e *Engine) runSequential(src workload.Source) error {
 				return err
 			}
 		case ok:
-			e.now = tick
-			switch {
-			case dc == dcCluster:
-				if err := e.stepClusterEvent(); err != nil {
-					return err
-				}
-			case dc == dcGate:
-				if err := e.stepGateEvent(); err != nil {
-					return err
-				}
-			default:
-				e.dcs[dc].sim.StepEvent()
+			if err := e.stepNext(tick, dc); err != nil {
+				return err
 			}
 		default:
 			return nil

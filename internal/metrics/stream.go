@@ -187,6 +187,24 @@ func (s *Stream) observe(t *task.Task) {
 // Total returns how many exits have been observed.
 func (s *Stream) Total() int { return s.total }
 
+// Counts is a point-in-time snapshot of the raw exit tallies — no trim
+// window, no derived percentages. The serve daemon's status endpoint reads
+// it between submissions; Finalize remains the end-of-trial view.
+type Counts struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Missed    int `json:"missed"`
+	Dropped   int `json:"dropped"`
+	Approx    int `json:"approx"`
+}
+
+// Counts returns the current raw exit tallies. Like Total it is a
+// single-goroutine read: on a shared stream call it only while observers
+// are quiescent.
+func (s *Stream) Counts() Counts {
+	return Counts{Total: s.total, Completed: s.completed, Missed: s.missed, Dropped: s.dropped, Approx: s.approx}
+}
+
 // Finalize computes the TrialStats for everything observed so far.
 // totalCost is the machine-time dollar cost of the whole trial.
 func (s *Stream) Finalize(totalCost float64) TrialStats {

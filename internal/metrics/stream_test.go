@@ -92,3 +92,29 @@ func TestStreamTotal(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamCounts: the raw exit tallies (the daemon's live status
+// surface) must track every terminal state exactly, independent of the
+// trimmed-window statistics.
+func TestStreamCounts(t *testing.T) {
+	s := NewStream(2, 10)
+	if (s.Counts() != Counts{}) {
+		t.Fatalf("fresh stream counts = %+v, want zero", s.Counts())
+	}
+	exits := []struct {
+		state task.State
+		want  Counts
+	}{
+		{task.StateCompleted, Counts{Total: 1, Completed: 1}},
+		{task.StateMissed, Counts{Total: 2, Completed: 1, Missed: 1}},
+		{task.StateDropped, Counts{Total: 3, Completed: 1, Missed: 1, Dropped: 1}},
+		{task.StateApprox, Counts{Total: 4, Completed: 1, Missed: 1, Dropped: 1, Approx: 1}},
+		{task.StateCompleted, Counts{Total: 5, Completed: 2, Missed: 1, Dropped: 1, Approx: 1}},
+	}
+	for i, e := range exits {
+		s.Observe(&task.Task{ID: i, Finish: int64(i), State: e.state})
+		if got := s.Counts(); got != e.want {
+			t.Fatalf("after exit %d (%v): counts = %+v, want %+v", i, e.state, got, e.want)
+		}
+	}
+}

@@ -33,18 +33,32 @@ const specSeed = 0x5EC1
 // at others). Results are clamped back into [50, 200] ticks... the paper's
 // stated range for task-type mean execution times.
 func SPECLikeMeans() [][]float64 {
-	rng := stats.NewRNG(specSeed)
-	base := make([]float64, SPECNumTypes)
+	return SyntheticMeans(SPECNumTypes, SPECNumMachines, specSeed)
+}
+
+// SyntheticMeans generalizes SPECLikeMeans to an arbitrary fleet shape: a
+// types×machines matrix with the same generation recipe (base costs in
+// [50, 200], machine speed factors in [0.7, 1.4], per-cell affinities in
+// [0.55, 1.8], clamped back into [50, 200]) seeded by the caller, so serve
+// configs can declare fleets of any size that keep the paper's
+// inconsistent-heterogeneity property. SyntheticMeans(12, 8, 0x5EC1) is
+// SPECLikeMeans exactly. Both dimensions must be positive.
+func SyntheticMeans(types, machines int, seed int64) [][]float64 {
+	if types < 1 || machines < 1 {
+		panic("pet: SyntheticMeans needs positive dimensions")
+	}
+	rng := stats.NewRNG(seed)
+	base := make([]float64, types)
 	for i := range base {
 		base[i] = rng.UniformRange(50, 200)
 	}
-	speed := make([]float64, SPECNumMachines)
+	speed := make([]float64, machines)
 	for j := range speed {
 		speed[j] = rng.UniformRange(0.7, 1.4)
 	}
-	means := make([][]float64, SPECNumTypes)
+	means := make([][]float64, types)
 	for i := range means {
-		means[i] = make([]float64, SPECNumMachines)
+		means[i] = make([]float64, machines)
 		for j := range means[i] {
 			affinity := rng.UniformRange(0.55, 1.8)
 			v := base[i] * speed[j] * affinity

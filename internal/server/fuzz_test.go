@@ -1,0 +1,50 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig drives the serve-config parser with arbitrary documents.
+// Invariants: no panic on any input; anything that parses must marshal and
+// re-parse to the identical config (Parse∘Marshal fixpoints); Validate
+// never panics on a parsed config.
+func FuzzParseConfig(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"name":"minimal","fleet":{"pet":"spec"}}`,
+		`{"fleet":{"pet":"video"},"heuristic":"MM","dcs":2,"route":"least-queued"}`,
+		`{"fleet":{"pet":"synthetic","types":6,"machines":9,"seed":42},"beta":0,"seed":-1}`,
+		`{"fleet":{"pet":"spec"},"queue":1,"window":1,"sample_every":1}`,
+		`{"fleet":{"pet":"spec"},"scenario":{"name":"s","events":[{"tick":5,"kind":"dc-fail","dc":0,"policy":"requeue"}],` +
+			`"failover":{"kind":"heartbeat","heartbeat_every":20,"suspect_after":2}}}`,
+		`{"fleet":{"pet":"spec"},"scenario":{"name":"static","checkpoint":{"kind":"periodic","interval":50}}}`,
+		`{"bogus":true}`,
+		`{"fleet":{"pet":"spec"},"beta":1e308}`,
+		`{"fleet":`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		c, err := ParseConfig(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		_ = c.Validate() // must not panic; rejection is fine
+		raw, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("parsed config failed to marshal: %v\n%+v", err, c)
+		}
+		c2, err := ParseConfig(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("marshaled config failed to re-parse: %v\n%s", err, raw)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("round trip diverged for %q:\n first %+v\nsecond %+v", doc, c, c2)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"taskprune/internal/task"
+	"taskprune/internal/workload"
+)
+
+//go:embed static/index.html
+var staticFS embed.FS
+
+// submitRequest is the POST /v1/tasks body: one task, or a batch via
+// Count. Type indexes the fleet's PET task types; DeadlineIn, when
+// positive, overrides the configured per-type deadline span (ticks from
+// arrival).
+type submitRequest struct {
+	Type       int   `json:"type"`
+	Count      int   `json:"count,omitempty"`
+	DeadlineIn int64 `json:"deadline_in,omitempty"`
+}
+
+// submitBatch wraps multiple submit requests: {"tasks": [...]}. A bare
+// single-task object also parses (Tasks stays nil).
+type submitBatch struct {
+	Tasks []submitRequest `json:"tasks"`
+}
+
+// submitResponse reports what a POST /v1/tasks call achieved. A partial
+// batch (buffer filled mid-way) answers 429 with Accepted < requested and
+// Retry-After set; the accepted prefix stays accepted.
+type submitResponse struct {
+	Accepted int    `json:"accepted"`
+	Queued   int    `json:"queue_depth"`
+	Error    string `json:"error,omitempty"`
+}
+
+// MaxBatch bounds one POST /v1/tasks request; bigger batches should be
+// split by the client (the buffer capacity is the real limit anyway).
+const MaxBatch = 10_000
+
+// Handler returns the daemon's mux: the v1 API, the embedded status page,
+// and the telemetry export surface (/metrics, /metrics.json, /debug/pprof)
+// mounted from the same registry the engine publishes to.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", s.handleTasks)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatif)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	tel := s.tel.Handler()
+	mux.Handle("GET /metrics", tel)
+	mux.Handle("GET /metrics.json", tel)
+	mux.Handle("/debug/pprof/", tel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleTasks admits submissions. Responses: 202 all accepted, 429 buffer
+// full (backpressure — includes how much of the batch made it), 400
+// malformed, 503 draining or failed.
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if !s.healthy() {
+		writeError(w, http.StatusServiceUnavailable, "not accepting submissions (draining or failed; see /v1/status)")
+		return
+	}
+	reqs, err := parseSubmit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	nTypes := s.matrix.NumTypes()
+	total := 0
+	for i, req := range reqs {
+		if req.Type < 0 || req.Type >= nTypes {
+			writeError(w, http.StatusBadRequest, "tasks[%d]: type %d out of range [0,%d)", i, req.Type, nTypes)
+			return
+		}
+		if req.Count < 0 {
+			writeError(w, http.StatusBadRequest, "tasks[%d]: negative count %d", i, req.Count)
+			return
+		}
+		if req.DeadlineIn < 0 {
+			writeError(w, http.StatusBadRequest, "tasks[%d]: negative deadline_in %d", i, req.DeadlineIn)
+			return
+		}
+		n := req.Count
+		if n == 0 {
+			n = 1
+		}
+		total += n
+	}
+	if total > MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d tasks exceeds the %d per-request cap", total, MaxBatch)
+		return
+	}
+	nm := s.matrix.NumMachines()
+	accepted := 0
+	for _, req := range reqs {
+		n := req.Count
+		if n == 0 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			t := workload.NewPooledTask(nm)
+			t.Type = task.Type(req.Type)
+			// Relative deadline rides in Deadline until the pump stamps the
+			// arrival tick (0 = use the configured span).
+			t.Deadline = req.DeadlineIn
+			if err := s.src.Push(t); err != nil {
+				s.src.Recycle(t)
+				s.accepted.Add(int64(accepted))
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, submitResponse{
+					Accepted: accepted,
+					Queued:   s.src.Len(),
+					Error:    fmt.Sprintf("submission buffer full after %d of %d tasks", accepted, total),
+				})
+				return
+			}
+			accepted++
+		}
+	}
+	s.accepted.Add(int64(accepted))
+	writeJSON(w, http.StatusAccepted, submitResponse{Accepted: accepted, Queued: s.src.Len()})
+}
+
+// maxBody bounds a request body read (a full batch of MaxBatch entries
+// fits comfortably).
+const maxBody = 1 << 20
+
+// parseSubmit decodes a POST /v1/tasks body: a batch wrapper
+// {"tasks": [...]} or a bare task object {"type": N, ...}. Both forms
+// reject unknown fields, so the body must be read once and tried twice.
+func parseSubmit(r *http.Request) ([]submitRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var batch submitBatch
+	if err := dec.Decode(&batch); err == nil && batch.Tasks != nil {
+		if len(batch.Tasks) == 0 {
+			return nil, fmt.Errorf("empty task batch")
+		}
+		return batch.Tasks, nil
+	}
+	dec = json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var single submitRequest
+	if err := dec.Decode(&single); err != nil {
+		return nil, fmt.Errorf(`body must be {"type": N, ...} or {"tasks": [{"type": N, ...}, ...]}: %v`, err)
+	}
+	return []submitRequest{single}, nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var ov Override
+	if err := dec.Decode(&ov); err != nil {
+		writeError(w, http.StatusBadRequest, "whatif: %v", err)
+		return
+	}
+	res, err := s.whatif(ov)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.healthy() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	page, err := staticFS.ReadFile("static/index.html")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "status page missing from binary")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(page)
+}

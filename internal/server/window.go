@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+
+	"taskprune/internal/task"
+)
+
+// capture is one retained submission: everything needed to replay it under
+// an alternative configuration, copied out at admission time (TrueExec
+// included — a replay must run against the same ground truth the live
+// engine saw, or the comparison measures sampling noise, not policy).
+type capture struct {
+	id       int
+	typ      task.Type
+	arrival  int64
+	deadline int64
+	trueExec []int64
+}
+
+// window is the bounded ring of recent submissions behind POST /v1/whatif.
+// The pump writes, what-if handlers read; a mutex serializes the two (the
+// window is far off the admission hot path — one append per submission).
+type window struct {
+	mu   sync.Mutex
+	caps []capture
+	pos  int
+	full bool
+}
+
+func newWindow(capacity int) *window {
+	return &window{caps: make([]capture, capacity)}
+}
+
+// add copies one stamped task into the ring, evicting the oldest capture
+// once full.
+func (w *window) add(t *task.Task) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := &w.caps[w.pos]
+	c.id = t.ID
+	c.typ = t.Type
+	c.arrival = t.Arrival
+	c.deadline = t.Deadline
+	c.trueExec = append(c.trueExec[:0], t.TrueExec...)
+	w.pos++
+	if w.pos == len(w.caps) {
+		w.pos = 0
+		w.full = true
+	}
+}
+
+// len reports how many captures the window holds.
+func (w *window) len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		return len(w.caps)
+	}
+	return w.pos
+}
+
+// tasks materializes the window's captures as fresh task structs in
+// submission (= arrival) order, ready for a replay engine. The returned
+// tasks are independent of the ring — the replay mutates and discards
+// them.
+func (w *window) tasks() []*task.Task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.pos
+	start := 0
+	if w.full {
+		n = len(w.caps)
+		start = w.pos
+	}
+	out := make([]*task.Task, 0, n)
+	for i := 0; i < n; i++ {
+		c := &w.caps[(start+i)%len(w.caps)]
+		out = append(out, &task.Task{
+			ID:       c.id,
+			Type:     c.typ,
+			Arrival:  c.arrival,
+			Deadline: c.deadline,
+			State:    task.StatePending,
+			Machine:  -1,
+			TrueExec: append([]int64(nil), c.trueExec...),
+		})
+	}
+	return out
+}

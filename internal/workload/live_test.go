@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLiveSourceBackpressure(t *testing.T) {
+	s := NewLiveSource(2)
+	a, b, c := NewPooledTask(4), NewPooledTask(4), NewPooledTask(4)
+	if err := s.Push(a); err != nil {
+		t.Fatalf("push 1: %v", err)
+	}
+	if err := s.Push(b); err != nil {
+		t.Fatalf("push 2: %v", err)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if err := s.Push(c); !errors.Is(err, ErrSourceFull) {
+		t.Fatalf("push over capacity: err = %v, want ErrSourceFull", err)
+	}
+	// Draining one slot re-admits.
+	if got, ok := s.Next(); !ok || got != a {
+		t.Fatalf("Next = %v, %v; want first pushed task", got, ok)
+	}
+	if err := s.Push(c); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+}
+
+func TestLiveSourceCloseDrainsBuffered(t *testing.T) {
+	s := NewLiveSource(4)
+	a, b := NewPooledTask(2), NewPooledTask(2)
+	if err := s.Push(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Push(NewPooledTask(2)); !errors.Is(err, ErrSourceClosed) {
+		t.Fatalf("push after close: err = %v, want ErrSourceClosed", err)
+	}
+	// Buffered submissions still deliver in order, then exhaustion.
+	if got, ok := s.Next(); !ok || got != a {
+		t.Fatalf("Next after close = %v, %v; want first buffered task", got, ok)
+	}
+	if got, ok := s.Next(); !ok || got != b {
+		t.Fatalf("Next after close = %v, %v; want second buffered task", got, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next on closed drained source reported a task")
+	}
+}
+
+func TestLiveSourcePoll(t *testing.T) {
+	s := NewLiveSource(1)
+	if _, ok, open := s.Poll(); ok || !open {
+		t.Fatalf("Poll on empty open source = ok=%v open=%v, want false/true", ok, open)
+	}
+	a := NewPooledTask(2)
+	if err := s.Push(a); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, open := s.Poll(); !ok || !open || got != a {
+		t.Fatalf("Poll with buffered task = %v ok=%v open=%v", got, ok, open)
+	}
+	s.Close()
+	if _, ok, open := s.Poll(); ok || open {
+		t.Fatalf("Poll on closed drained source = ok=%v open=%v, want false/false", ok, open)
+	}
+}
+
+func TestNewPooledTaskReset(t *testing.T) {
+	s := NewLiveSource(1)
+	a := NewPooledTask(3)
+	a.ID = 99
+	a.Defers = 7
+	a.TrueExec[0] = 42
+	s.Recycle(a)
+	b := NewPooledTask(3)
+	if b.ID != 0 || b.Defers != 0 {
+		t.Fatalf("pooled task not reset: ID=%d Defers=%d", b.ID, b.Defers)
+	}
+	if len(b.TrueExec) != 3 {
+		t.Fatalf("TrueExec sized %d, want 3", len(b.TrueExec))
+	}
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# check_tree.sh [dir] — refuse build artifacts in the git tree.
+#
+# Fails if the repository at dir (default: .) tracks any *.test binary or
+# any blob over 1MB outside a testdata/ directory. Compiled test binaries
+# are gitignored, but an explicit `git add -f` (or a .gitignore edit) can
+# still sneak one in; this guard makes that a CI failure instead of a
+# 7MB blob in every clone forever.
+set -eu
+
+dir="${1:-.}"
+limit=1048576 # 1MB
+fail=0
+
+tests=$(git -C "$dir" ls-files -- '*.test')
+if [ -n "$tests" ]; then
+    echo "check-tree: tracked compiled test binaries:" >&2
+    echo "$tests" | sed 's/^/  /' >&2
+    fail=1
+fi
+
+for f in $(git -C "$dir" ls-files); do
+    case "$f" in
+    testdata/* | */testdata/*) continue ;;
+    esac
+    [ -f "$dir/$f" ] || continue
+    size=$(wc -c <"$dir/$f")
+    if [ "$size" -gt "$limit" ]; then
+        echo "check-tree: tracked blob $f is $size bytes (limit $limit outside testdata/)" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check-tree: clean"

@@ -1,0 +1,74 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the scheduling daemon.
+#
+# Builds the static hcsim binary (CGO_ENABLED=0, the same shape the
+# Dockerfile ships), boots `hcsim serve` on a fixed port, and drives the
+# full lifecycle over HTTP: health check, batch submission, queue drain,
+# a what-if replay, the metrics and status-page surfaces, then SIGTERM —
+# which must drain gracefully and exit 0.
+set -eu
+
+PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+BIN="${TMPDIR:-/tmp}/hcsim-smoke"
+LOG="${TMPDIR:-/tmp}/hcsim-smoke.log"
+
+say() { echo "serve-smoke: $*"; }
+die() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+say "building static binary"
+CGO_ENABLED=0 go build -trimpath -o "$BIN" ./cmd/hcsim
+
+say "booting on $BASE"
+"$BIN" serve -config examples/serve/fleet.json -addr "127.0.0.1:$PORT" >"$LOG" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && die "daemon never became healthy"
+    kill -0 "$pid" 2>/dev/null || die "daemon exited during boot"
+    sleep 0.2
+done
+say "healthy"
+
+accepted=$(curl -fsS -X POST -d '{"tasks":[{"type":0,"count":100},{"type":5,"count":100}]}' \
+    "$BASE/v1/tasks" | jq .accepted)
+[ "$accepted" = 200 ] || die "batch submit accepted $accepted of 200"
+say "submitted 200 tasks"
+
+i=0
+until [ "$(curl -fsS "$BASE/v1/status" | jq '.queue_depth == 0 and .submitted == 200')" = true ]; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && die "queue never drained: $(curl -fsS "$BASE/v1/status")"
+    sleep 0.2
+done
+say "queue drained, 200 admitted"
+
+delta=$(curl -fsS -X POST -d '{"route":"round-robin"}' "$BASE/v1/whatif" | jq .delta_pct)
+[ -n "$delta" ] || die "what-if replay returned no delta"
+say "what-if replay ok (delta_pct $delta vs round-robin)"
+
+curl -fsS "$BASE/metrics" | grep -c '^hcsim_' >/dev/null || die "/metrics has no hcsim_ series"
+curl -fsS "$BASE/metrics.json" | jq -e . >/dev/null || die "/metrics.json is not JSON"
+curl -fsS "$BASE/" | grep -c 'hcsim serve' >/dev/null || die "status page missing"
+say "metrics + status page ok"
+
+say "sending SIGTERM"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+trap - EXIT
+[ "$rc" -eq 0 ] || die "daemon exited $rc after SIGTERM (want graceful 0)"
+
+grep -q 'drained' "$LOG" || die "daemon log has no drain summary"
+total=$(sed -n 's/^serve: drained — \([0-9]*\) tasks.*/\1/p' "$LOG")
+[ "$total" = 200 ] || die "drain summary accounts $total tasks, want 200"
+say "graceful drain ok — all 200 tasks accounted"
+say "PASS"

@@ -79,10 +79,11 @@ import (
 	"taskprune/internal/pmf"
 	"taskprune/internal/pruner"
 	"taskprune/internal/scenario"
+	"taskprune/internal/server"
 	"taskprune/internal/simulator"
 	"taskprune/internal/stats"
-	"taskprune/internal/telemetry"
 	"taskprune/internal/task"
+	"taskprune/internal/telemetry"
 	"taskprune/internal/trace"
 	"taskprune/internal/workload"
 )
@@ -191,6 +192,22 @@ type (
 	// TelemetryServer is the live HTTP export surface (Prometheus text,
 	// JSON snapshots, pprof).
 	TelemetryServer = telemetry.Server
+	// ServeConfig is the persistent `hcsim serve` deployment
+	// configuration: fleet, heuristic, route, queue capacity, what-if
+	// window, and an optional nested Scenario, round-tripping through
+	// JSON with boot-time validation.
+	ServeConfig = server.Config
+	// ServeFleet selects a deployment's PET matrix ("spec", "video", or
+	// a seeded "synthetic" Types×Machines fleet).
+	ServeFleet = server.Fleet
+	// Daemon is the long-running scheduling daemon behind `hcsim serve`:
+	// live HTTP submission, status/metrics export, what-if replays, and
+	// graceful drain over one continuously-stepping cluster engine.
+	Daemon = server.Server
+	// LiveSource is the bounded push side of the daemon: submissions
+	// enter via Push (ErrSourceFull = backpressure) and leave through
+	// the pull-based WorkloadSource interface.
+	LiveSource = workload.LiveSource
 )
 
 // Failure policies for scenario machine failures.
@@ -299,6 +316,10 @@ var (
 	DefaultPETBuildConfig = pet.DefaultBuildConfig
 	// SPECLikeMeans returns the 12×8 main-workload mean matrix.
 	SPECLikeMeans = pet.SPECLikeMeans
+	// SyntheticMeans generalizes the SPEC-like generator to any
+	// Types×Machines fleet at any seed (SPECLikeMeans is
+	// SyntheticMeans(12, 8, 0x5EC1), byte for byte).
+	SyntheticMeans = pet.SyntheticMeans
 	// VideoMeans returns the 4×4 video-workload mean matrix.
 	VideoMeans = pet.VideoMeans
 	// SPECPET returns the shared main-evaluation PET matrix.
@@ -326,6 +347,19 @@ var (
 	ParseScenario = scenario.Parse
 	// LoadScenario parses the JSON fleet-scenario file at a path.
 	LoadScenario = scenario.Load
+	// NewDaemon builds the scheduling daemon from a validated
+	// ServeConfig; Start launches the pump, Serve binds the HTTP API,
+	// Drain shuts down gracefully.
+	NewDaemon = server.New
+	// ParseServeConfig reads a JSON deployment config (unknown fields
+	// rejected, defaults applied).
+	ParseServeConfig = server.ParseConfig
+	// LoadServeConfig parses and validates the deployment config file at
+	// a path — the `hcsim serve -config` boot path.
+	LoadServeConfig = server.LoadConfig
+	// NewLiveSource builds the bounded live-submission source bridging
+	// pushed tasks into a pull-based engine run.
+	NewLiveSource = workload.NewLiveSource
 	// FaultScenario is the canned mid-trial churn used by the scen-fault
 	// experiment.
 	FaultScenario = experiments.FaultScenario
